@@ -1,0 +1,46 @@
+"""Table 1: CRIU's checkpointing overheads for a 500 MB Redis process.
+
+Paper values:  OS state copy 49 ms | memory copy 413 ms |
+total stop 462 ms | IO write 350 ms.
+"""
+
+from bench_utils import run_once
+
+from repro.machine import Machine
+from repro.apps.redis import RedisServer
+from repro.baselines.criu import CRIUCheckpointer
+from repro.units import MiB, MSEC, fmt_time
+
+PAPER = {"os_state": 49 * MSEC, "memory": 413 * MSEC,
+         "total_stop": 462 * MSEC, "io": 350 * MSEC}
+
+
+def run_experiment():
+    machine = Machine()
+    server = RedisServer(machine.kernel, heap_bytes=600 * MiB)
+    server.populate_synthetic(500 * MiB, value_size=4096)
+    checkpointer = CRIUCheckpointer(machine.kernel)
+    return checkpointer.checkpoint(server.proc)
+
+
+def test_table1_criu_breakdown(benchmark, report):
+    result = run_once(benchmark, run_experiment)
+    rows = [
+        ("OS State Copy", result.os_state_ns, PAPER["os_state"]),
+        ("Memory Copy", result.memory_copy_ns, PAPER["memory"]),
+        ("Total Stop Time", result.total_stop_ns, PAPER["total_stop"]),
+        ("IO Write", result.io_write_ns, PAPER["io"]),
+    ]
+    lines = ["Table 1 - CRIU checkpoint breakdown (500 MB Redis)",
+             f"{'Type':<18} {'Measured':>12} {'Paper':>12}"]
+    for name, measured, paper in rows:
+        lines.append(f"{name:<18} {fmt_time(measured):>12} "
+                     f"{fmt_time(paper):>12}")
+    report("table1_criu", "\n".join(lines))
+
+    # Shape assertions: each component within 2x of the paper, and the
+    # structural relations hold.
+    for _name, measured, paper in rows:
+        assert paper / 2 <= measured <= paper * 2
+    assert result.memory_copy_ns > 5 * result.os_state_ns
+    assert result.total_stop_ns == result.os_state_ns + result.memory_copy_ns

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness (imported by every bench
+module; kept out of conftest.py so a combined ``pytest tests/
+benchmarks/`` run cannot suffer a conftest module-name collision)."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a result table and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{text}")
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark.
+
+    The experiments measure *simulated* time internally; the benchmark
+    fixture wraps the single run so the harness integrates with
+    ``pytest --benchmark-only`` and records the wall-clock cost of the
+    simulation itself.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,25 @@
+"""Fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's §9:
+it runs the experiment on the simulator, prints the paper-shaped rows
+(also saved under ``benchmarks/results/``), and asserts the paper's
+*qualitative* claims — who wins, by roughly what factor, where the
+crossovers are.  Absolute numbers are simulated time from the
+calibrated cost model (see ``src/repro/core/costs.py``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from bench_utils import save_report  # noqa: E402
+
+
+@pytest.fixture
+def report():
+    return save_report

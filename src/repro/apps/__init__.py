@@ -1,0 +1,17 @@
+"""Evaluation applications: the workloads of the paper's §9.
+
+* :mod:`repro.apps.redis` — key-value store with fork-based RDB
+  persistence (Tables 1 and 7).
+* :mod:`repro.apps.memcached` — the transparent-persistence server of
+  Figures 4 and 5.
+* :mod:`repro.apps.rocksdb` — a real LSM-tree store plus the Aurora
+  port that replaces its persistence layer (Figure 6).
+* :mod:`repro.apps.synthetic` — firefox/mosh/pillow/tomcat/vim process
+  profiles (Table 6).
+"""
+
+from .redis import RedisServer
+from .memcached import MemcachedServer
+from .synthetic import PROFILES, SyntheticApp
+
+__all__ = ["RedisServer", "MemcachedServer", "SyntheticApp", "PROFILES"]

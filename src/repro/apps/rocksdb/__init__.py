@@ -1,0 +1,16 @@
+"""A RocksDB-like LSM key-value store, plus the Aurora port (§9.6).
+
+The baseline (:class:`~repro.apps.rocksdb.db.RocksDB`) is a real LSM
+implementation: skiplist memtable, CRC-framed write-ahead log on the
+kernel filesystem, block-structured SSTables with bloom filters, and
+leveled compaction.  The port
+(:class:`~repro.apps.rocksdb.aurora_db.AuroraRocksDB`) is the paper's
+109-line rewrite: the LSM tree and WAL are *deleted* — Aurora persists
+the memtable, and ``sls_journal`` replaces the WAL.
+"""
+
+from .memtable import MemTable, SkipList
+from .db import RocksDB, DBOptions
+from .aurora_db import AuroraRocksDB
+
+__all__ = ["MemTable", "SkipList", "RocksDB", "DBOptions", "AuroraRocksDB"]

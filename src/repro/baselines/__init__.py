@@ -1,0 +1,6 @@
+"""Baseline systems the paper compares against: the CRIU-style
+process-centric checkpointer (Tables 1 and 7)."""
+
+from .criu import CRIUCheckpointer, CRIUReport
+
+__all__ = ["CRIUCheckpointer", "CRIUReport"]

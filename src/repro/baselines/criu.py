@@ -1,0 +1,140 @@
+"""A CRIU-style process-centric checkpointer (Tables 1 and 7).
+
+This baseline checkpoints the *same* simulated kernel as Aurora, but
+the way CRIU must on Linux: from the outside, through per-process
+views, with no access to kernel object identity.
+
+The architectural differences that produce the 100x stop-time gap:
+
+1. **Per-process traversal.**  CRIU parasite-injects each process
+   (ptrace attach), then queries every descriptor and mapping through
+   /proc- and netlink-shaped interfaces — one round trip per object,
+   instead of reading kernel structures in place.
+2. **Sharing inference.**  Kernel identity is invisible, so CRIU
+   compares the collected descriptors pairwise (kcmp-style) to decide
+   what is shared, then deduplicates — work Aurora's first-class
+   object model never does.
+3. **Stop-the-world memory copy.**  Without system shadowing, the
+   pages are copied out while every process stays frozen; the copy is
+   the 413 ms of Table 1.  The image write happens after resume but is
+   single-streamed and unsynchronized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .. import serde
+from ..core import costs
+from ..units import PAGE_SIZE
+
+
+class CRIUReport:
+    """Timing breakdown matching Table 1's rows."""
+
+    def __init__(self):
+        self.os_state_ns = 0       # "OS State Copy"
+        self.memory_copy_ns = 0    # "Memory Copy"
+        self.io_write_ns = 0       # "IO Write" (post-resume)
+        self.image_bytes = 0
+        self.objects_queried = 0
+        self.sharing_comparisons = 0
+        self.pages_copied = 0
+
+    @property
+    def total_stop_ns(self) -> int:
+        """The application is frozen for state + memory collection."""
+        return self.os_state_ns + self.memory_copy_ns
+
+
+class CRIUCheckpointer:
+    """Checkpoint a process tree the process-centric way."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+    # -- collection ------------------------------------------------------------------
+
+    def _collect_os_state(self, procs, report: CRIUReport) -> dict:
+        """Walk /proc-style views of every process; infer sharing."""
+        clock = self.kernel.clock
+        image: Dict[str, list] = {"processes": []}
+        descriptor_views: List[Tuple[int, int, object]] = []
+        for proc in procs:
+            clock.advance(costs.CRIU_ATTACH_PER_PROC)
+            proc_view = {"pid": proc.pid, "name": proc.name,
+                         "fds": [], "maps": [], "threads": len(proc.threads)}
+            for fd, file in proc.fdtable.items():
+                clock.advance(costs.CRIU_QUERY_PER_OBJECT)
+                report.objects_queried += 1
+                proc_view["fds"].append({"fd": fd, "ftype": file.ftype,
+                                         "offset": file.offset})
+                descriptor_views.append((proc.pid, fd, file))
+            for entry in proc.vmspace.map:
+                clock.advance(costs.CRIU_QUERY_PER_OBJECT)
+                report.objects_queried += 1
+                proc_view["maps"].append({
+                    "start": entry.start_page, "npages": entry.npages,
+                    "prot": entry.protection, "name": entry.name,
+                })
+                # Pagemap scan to find which pages are resident/dirty.
+                clock.advance(entry.npages *
+                              costs.CRIU_PAGEMAP_SCAN_PER_PAGE)
+            image["processes"].append(proc_view)
+
+        # Sharing inference: pairwise kcmp of collected descriptors.
+        for i in range(len(descriptor_views)):
+            for j in range(i + 1, len(descriptor_views)):
+                clock.advance(costs.CRIU_SHARING_INFERENCE)
+                report.sharing_comparisons += 1
+        return image
+
+    def _copy_memory(self, procs, report: CRIUReport) -> int:
+        """Stop-the-world page copy (process_vm_readv + pipes)."""
+        clock = self.kernel.clock
+        pages = 0
+        seen: Set[int] = set()
+        for proc in procs:
+            for entry in proc.vmspace.map:
+                for obj in entry.vmobject.chain():
+                    if obj.kid in seen:
+                        continue
+                    seen.add(obj.kid)
+                    pages += obj.resident_count()
+        clock.advance(pages * costs.CRIU_PAGE_COPY)
+        report.pages_copied = pages
+        return pages
+
+    # -- the operation -----------------------------------------------------------------------
+
+    def checkpoint(self, root_proc) -> CRIUReport:
+        """Dump one process tree; returns the Table 1 breakdown.
+
+        The tree is frozen for the whole of OS-state collection and
+        memory copy; the image write happens after resume (and without
+        a flush — Table 1's caption notes CRIU does not sync)."""
+        report = CRIUReport()
+        clock = self.kernel.clock
+        procs = root_proc.tree()
+
+        for proc in procs:
+            proc.post_signal(17)  # SIGSTOP-style freeze
+
+        t0 = clock.now()
+        image = self._collect_os_state(procs, report)
+        report.os_state_ns = clock.now() - t0
+
+        t0 = clock.now()
+        pages = self._copy_memory(procs, report)
+        report.memory_copy_ns = clock.now() - t0
+
+        for proc in procs:
+            proc.post_signal(19)  # SIGCONT
+
+        # Post-resume: single-threaded buffered image write.
+        metadata = serde.dumps(image)
+        report.image_bytes = len(metadata) + pages * PAGE_SIZE
+        report.io_write_ns = (report.image_bytes * 1_000_000_000
+                              // costs.CRIU_IMAGE_WRITE_BW)
+        clock.advance(report.io_write_ns)
+        return report

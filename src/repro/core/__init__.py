@@ -1,0 +1,33 @@
+"""Aurora's core: orchestrator, system shadowing, API, CLI, cost model.
+
+Only :mod:`repro.core.costs` is imported eagerly — the hardware layer
+needs the cost constants, and importing the orchestrator here would
+create an import cycle (orchestrator → kernel → hw → core.costs).
+The heavier submodules are re-exported lazily.
+"""
+
+from . import costs
+
+__all__ = [
+    "costs",
+    "ConsistencyGroup",
+    "Orchestrator",
+    "AuroraAPI",
+]
+
+_LAZY = {
+    "ConsistencyGroup": ("repro.core.group", "ConsistencyGroup"),
+    "Orchestrator": ("repro.core.orchestrator", "Orchestrator"),
+    "AuroraAPI": ("repro.core.api", "AuroraAPI"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

@@ -1,0 +1,331 @@
+"""The ``sls`` command line interface (Table 2).
+
+The persistent thing between invocations is — as on a real Aurora
+machine — the *disk*: an image file holding the simulated NVMe
+array's contents.  Each command boots a fresh machine against the
+image, recovers the object store, performs its operation, and writes
+the array back.  Because applications here are simulated processes,
+``sls spawn`` and ``sls run`` exist to create and advance a demo
+workload that the Table 2 verbs can then operate on.
+
+    sls init /tmp/aurora.img
+    sls spawn /tmp/aurora.img myapp --memory-kib 256
+    sls run /tmp/aurora.img 2 --millis 50
+    sls ps /tmp/aurora.img
+    sls checkpoint /tmp/aurora.img 2 --name before-upgrade
+    sls restore /tmp/aurora.img 2
+    sls dump /tmp/aurora.img 2 -o core.elf
+    sls send /tmp/aurora.img 2 -o app.stream
+    sls recv /tmp/other.img app.stream
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from typing import Optional, Tuple
+
+from ..machine import Machine
+from ..units import KiB, MSEC, PAGE_SIZE, fmt_size, fmt_time
+from . import migration
+from .coredump import dump_process
+
+IMAGE_VERSION = 1
+
+
+def _save_image(machine: Machine, path: str) -> None:
+    # Let queued device IO and the commit events riding on it land.
+    # (A plain drain() would spin forever on periodic checkpoint
+    # timers, which are volatile and not part of the image anyway.)
+    for _ in range(8):
+        deadline = max((dev._busy_until
+                        for dev in machine.storage.devices), default=0)
+        if deadline <= machine.clock.now():
+            break
+        machine.loop.run_until(deadline)
+    machine.storage.poll()
+    image = {
+        "version": IMAGE_VERSION,
+        "clock_ns": machine.clock.now(),
+        "devices": [dict(dev._extents) for dev in machine.storage.devices],
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(image, handle)
+
+
+def _boot_from_image(path: str) -> Machine:
+    with open(path, "rb") as handle:
+        image = pickle.load(handle)
+    if image.get("version") != IMAGE_VERSION:
+        raise SystemExit(f"unsupported image version in {path}")
+    machine = Machine(start_ns=image["clock_ns"])
+    for device, extents in zip(machine.storage.devices, image["devices"]):
+        device._extents.update(extents)
+    return machine
+
+
+def _load(path: str) -> Tuple[Machine, object]:
+    from .orchestrator import load_aurora
+
+    machine = _boot_from_image(path)
+    sls = load_aurora(machine)
+    return machine, sls
+
+
+# -- commands ------------------------------------------------------------------------
+
+
+def cmd_init(args) -> int:
+    """``sls init``: format a fresh Aurora image."""
+    from .orchestrator import load_aurora
+
+    machine = Machine()
+    load_aurora(machine)
+    _save_image(machine, args.image)
+    print(f"initialized Aurora image at {args.image}")
+    return 0
+
+
+def cmd_spawn(args) -> int:
+    """``sls spawn``: create, attach and checkpoint a demo app."""
+    machine, sls = _load(args.image)
+    kernel = machine.kernel
+    proc = kernel.spawn(args.name)
+    nbytes = args.memory_kib * KiB
+    addr = proc.vmspace.mmap(nbytes, name="heap")
+    proc.vmspace.fill(addr, nbytes // PAGE_SIZE, seed=0xC0DE)
+    proc.vmspace.write(addr, f"{args.name}:step0".encode().ljust(64, b"\x00"))
+    proc.vmspace.write(addr + 64, b"0".ljust(8, b"\x00"))
+    group = sls.attach(proc, name=args.name,
+                       period_ns=args.period_ms * MSEC, periodic=False)
+    sls.checkpoint(group, name="spawn", full=True, sync=True)
+    _save_image(machine, args.image)
+    print(f"spawned {args.name!r} as group {group.group_id} "
+          f"({fmt_size(nbytes)} resident)")
+    return 0
+
+
+def cmd_ps(args) -> int:
+    """``sls ps``: list applications in the store."""
+    _machine, sls = _load(args.image)
+    rows = sls.ps()
+    if not rows:
+        print("no applications in the store")
+        return 0
+    print(f"{'GROUP':>5}  {'NAME':<16} {'CKPTS':>5}  {'LATEST':>6}")
+    for row in rows:
+        print(f"{row['group_id']:>5}  {row['name']:<16} "
+              f"{row['checkpoints']:>5}  {row['latest_ckpt']:>6}")
+    return 0
+
+
+def _restore_group(sls, group_id: int, lazy: bool = False):
+    result = sls.restore(group_id, lazy=lazy, periodic=False)
+    return result
+
+
+def cmd_run(args) -> int:
+    """``sls run``: restore, do work with checkpoints, save."""
+    machine, sls = _load(args.image)
+    result = _restore_group(sls, args.group)
+    group = result.group
+    proc = result.root
+    heap = next(e for e in proc.vmspace.map if e.name == "heap")
+    addr = heap.start_page * PAGE_SIZE
+    step = int(proc.vmspace.read(addr + 64, 8).rstrip(b"\x00") or b"0")
+    period = group.period_ns
+    deadline = machine.clock.now() + args.millis * MSEC
+    while machine.clock.now() < deadline:
+        step += 1
+        proc.vmspace.write(addr, f"{group.name}:step{step}".encode())
+        proc.vmspace.write(addr + 64, str(step).encode())
+        proc.vmspace.touch(addr + 2 * PAGE_SIZE,
+                           min(8, heap.npages - 2), seed=step)
+        machine.run_for(period)
+        if not group.flush_in_progress:
+            sls.checkpoint(group, sync=True)
+    _save_image(machine, args.image)
+    print(f"ran group {args.group} for {args.millis} ms "
+          f"(now at step {step}, "
+          f"{group.stats['checkpoints']} checkpoints)")
+    return 0
+
+
+def cmd_checkpoint(args) -> int:
+    """``sls checkpoint``: take a named full checkpoint."""
+    machine, sls = _load(args.image)
+    result = _restore_group(sls, args.group)
+    res = sls.checkpoint(result.group, name=args.name or "",
+                         full=True, sync=True)
+    _save_image(machine, args.image)
+    print(f"checkpoint {res.info.ckpt_id} of group {args.group} "
+          f"(stop time {fmt_time(res.stop_ns)})")
+    return 0
+
+
+def cmd_restore(args) -> int:
+    """``sls restore``: restore and report (image unchanged)."""
+    _machine, sls = _load(args.image)
+    result = sls.restore(args.group, ckpt_id=args.ckpt,
+                         lazy=args.lazy, periodic=False)
+    proc = result.root
+    print(f"restored group {args.group} from checkpoint "
+          f"{result.ckpt_id}: {len(result.processes)} process(es), "
+          f"root pid {proc.pid} (local {proc.local_pid}), "
+          f"{result.pages_restored} pages eager / "
+          f"{result.pages_lazy} lazy, in {fmt_time(result.elapsed_ns)}")
+    return 0
+
+
+def cmd_history(args) -> int:
+    """``sls history``: list an app's checkpoints."""
+    _machine, sls = _load(args.image)
+    chain = sls.store.checkpoints_for(args.group, include_partial=True)
+    if not chain:
+        print(f"group {args.group} has no checkpoints")
+        return 1
+    print(f"{'CKPT':>6}  {'NAME':<16} {'KIND':<8} {'TIME':>12}  {'DATA':>10}")
+    for info in chain:
+        kind = "partial" if info.partial else "full"
+        print(f"{info.ckpt_id:>6}  {(info.name or '-'):<16} {kind:<8} "
+              f"{fmt_time(info.time_ns):>12}  "
+              f"{fmt_size(info.data_bytes):>10}")
+    return 0
+
+
+def cmd_suspend(args) -> int:
+    """``sls suspend``: final checkpoint, tear the app down."""
+    machine, sls = _load(args.image)
+    result = _restore_group(sls, args.group)
+    ckpt_id = sls.suspend(result.group)
+    _save_image(machine, args.image)
+    print(f"suspended group {args.group} into checkpoint {ckpt_id}")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    """``sls resume``: bring a suspended app back."""
+    machine, sls = _load(args.image)
+    result = sls.restore(args.group, periodic=False)
+    _save_image(machine, args.image)
+    print(f"resumed group {args.group}: root pid {result.root.pid}")
+    return 0
+
+
+def cmd_dump(args) -> int:
+    """``sls dump``: write an ELF core of the restored state."""
+    _machine, sls = _load(args.image)
+    result = _restore_group(sls, args.group)
+    core = dump_process(result.root)
+    with open(args.output, "wb") as handle:
+        handle.write(core)
+    print(f"wrote {fmt_size(len(core))} ELF core to {args.output}")
+    return 0
+
+
+def cmd_send(args) -> int:
+    """``sls send``: serialize an app into a stream file."""
+    _machine, sls = _load(args.image)
+    stream = migration.send_checkpoint(sls, args.group)
+    with open(args.output, "wb") as handle:
+        handle.write(stream)
+    print(f"serialized group {args.group} into {args.output} "
+          f"({fmt_size(len(stream))})")
+    return 0
+
+
+def cmd_recv(args) -> int:
+    """``sls recv``: import a stream into another image."""
+    machine, sls = _load(args.image)
+    with open(args.stream, "rb") as handle:
+        stream = handle.read()
+    ckpt_id = migration.recv_checkpoint(sls, stream)
+    _save_image(machine, args.image)
+    print(f"received checkpoint {ckpt_id} into {args.image}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The sls argument parser (Table 2's verbs)."""
+    parser = argparse.ArgumentParser(
+        prog="sls", description="Aurora single level store CLI (simulated)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="format a new Aurora image")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("spawn", help="create and attach a demo app")
+    p.add_argument("image")
+    p.add_argument("name")
+    p.add_argument("--memory-kib", type=int, default=256)
+    p.add_argument("--period-ms", type=int, default=10)
+    p.set_defaults(func=cmd_spawn)
+
+    p = sub.add_parser("ps", help="list applications in Aurora")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_ps)
+
+    p = sub.add_parser("run", help="advance an app with checkpoints")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("--millis", type=int, default=100)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("checkpoint", help="take a named checkpoint")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("--name")
+    p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser("restore", help="restore an application")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("--ckpt", type=int)
+    p.add_argument("--lazy", action="store_true")
+    p.set_defaults(func=cmd_restore)
+
+    p = sub.add_parser("history", help="list an app's checkpoints")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.set_defaults(func=cmd_history)
+
+    p = sub.add_parser("suspend", help="suspend an app into the store")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.set_defaults(func=cmd_suspend)
+
+    p = sub.add_parser("resume", help="resume a suspended app")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser("dump", help="write an ELF coredump")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_dump)
+
+    p = sub.add_parser("send", help="serialize an app to a stream")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_send)
+
+    p = sub.add_parser("recv", help="import an app stream")
+    p.add_argument("image")
+    p.add_argument("stream")
+    p.set_defaults(func=cmd_recv)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point for the ``sls`` console script."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

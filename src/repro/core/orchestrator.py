@@ -1,0 +1,362 @@
+"""The SLS orchestrator (§4.1): the module that makes POSIX persistent.
+
+The orchestrator owns consistency groups and runs the checkpoint
+pipeline:
+
+    quiesce → collapse flushed shadows → system shadowing →
+    serialize POSIX objects → resume → asynchronous flush → commit
+
+Only the steps before *resume* contribute to application stop time;
+the flush overlaps execution thanks to the frozen system shadows.  A
+new checkpoint is never initiated while the previous flush is in
+flight (§7: a slow store bounds checkpoint frequency, never
+correctness).
+
+``load_aurora`` is the module-load entry point: it formats or recovers
+the object store, mounts the Aurora FS, and rebuilds the directory of
+restorable applications after a crash.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import InvalidArgument, NoSuchCheckpoint, NotAttached, SLSError
+from ..kernel.fs.vfs import VFS
+from ..objstore.oid import CLASS_GROUP, oid_serial
+from ..objstore.store import ObjectStore
+from ..slsfs.slsfs import SLSFS
+from ..units import MSEC, PAGE_SIZE
+from . import costs
+from .extsync import ExternalSynchrony
+from .group import ConsistencyGroup
+from .quiesce import quiesce_group, resume_group
+from .restore import GroupRestorer, RestoreResult
+from .serialize import CheckpointSerializer
+from .shadowing import REVERSE, ShadowEngine
+
+#: Checkpoint target modes.
+MODE_DISK = "disk"   # full pipeline, flushed to the object store
+MODE_MEM = "mem"     # stop-time measurement only, nothing flushed
+
+
+class _MemTxn:
+    """Stand-in transaction for in-memory (non-flushed) checkpoints."""
+
+    class _Info:
+        ckpt_id = -1
+
+    def __init__(self, store):
+        self.store = store
+        self.info = self._Info()
+        self.records = {}
+        self.pages = {}
+
+    def put_object(self, oid, otype, state):
+        self.store.clock.advance(costs.STORE_RECORD_STAGE)
+        self.records[oid] = (otype, state)
+
+    def put_pages(self, oid, pages):
+        self.pages.setdefault(oid, {}).update(pages)
+
+
+class CheckpointResult:
+    """Timing breakdown of one checkpoint (benchmarks read this)."""
+
+    def __init__(self, info, mode: str):
+        self.info = info
+        self.mode = mode
+        self.stop_ns = 0
+        self.quiesce_ns = 0
+        self.shadow_ns = 0
+        self.serialize_ns = 0
+        self.pages_flushed = 0
+        self.bytes_staged = 0
+
+    def __repr__(self) -> str:
+        from ..units import fmt_time
+        ckpt = self.info.ckpt_id if self.info is not None else "-"
+        return (f"CheckpointResult(id={ckpt}, stop={fmt_time(self.stop_ns)}, "
+                f"{self.pages_flushed} pages)")
+
+
+class Orchestrator:
+    """The single level store control plane for one machine."""
+
+    def __init__(self, machine, store: ObjectStore, slsfs: Optional[SLSFS],
+                 default_period_ns: int = ConsistencyGroup.DEFAULT_PERIOD,
+                 collapse_direction: str = REVERSE):
+        self.machine = machine
+        self.kernel = machine.kernel
+        self.store = store
+        self.slsfs = slsfs
+        self.default_period_ns = default_period_ns
+        self.shadow = ShadowEngine(self.kernel, store, collapse_direction)
+        self.extsync = ExternalSynchrony(self.kernel)
+        self.groups: Dict[int, ConsistencyGroup] = {}
+        self.kernel.sls = self
+
+    # -- attach / detach ---------------------------------------------------------------
+
+    def attach(self, proc, name: str = "",
+               period_ns: Optional[int] = None,
+               external_synchrony: bool = False,
+               periodic: bool = True,
+               history_limit: Optional[int] = None) -> ConsistencyGroup:
+        """``sls attach``: put a process (and its tree) under Aurora.
+
+        ``external_synchrony`` defaults off to mirror the paper's
+        evaluated configuration (§8 Limitations); turning it on
+        activates the buffer-until-commit path.  ``history_limit``
+        bounds the retained execution history (old checkpoints are
+        merged away WAFL-style after each commit).
+        """
+        desc_oid = self.store.alloc_oid(CLASS_GROUP)
+        group = ConsistencyGroup(oid_serial(desc_oid),
+                                 name=name or proc.name,
+                                 period_ns=period_ns or self.default_period_ns,
+                                 external_synchrony=external_synchrony)
+        group.desc_oid = desc_oid
+        group.history_limit = history_limit
+        for member in proc.tree():
+            group.add_process(member)
+        self.groups[group.group_id] = group
+        if periodic:
+            self._schedule(group)
+        return group
+
+    def detach(self, group: ConsistencyGroup) -> None:
+        """``sls detach``: stop persisting; history stays in the store."""
+        if group.timer is not None:
+            group.timer.cancel()
+            group.timer = None
+        group.attached = False
+        for proc in list(group.processes):
+            group.remove_process(proc)
+        self.extsync.drop_group(group)
+        self.groups.pop(group.group_id, None)
+
+    def mark_ephemeral(self, proc) -> None:
+        """``sls detach <pid>`` on one member: keep it in the group but
+        stop persisting it (§3 ephemeral processes)."""
+        if proc.sls_group is None:
+            raise NotAttached(f"{proc} is not attached")
+        proc.sls_ephemeral = True
+
+    def group_of(self, proc) -> ConsistencyGroup:
+        """The consistency group a process belongs to (or raises)."""
+        if proc.sls_group is None:
+            raise NotAttached(f"{proc} is not attached")
+        return proc.sls_group
+
+    # -- periodic checkpointing -----------------------------------------------------------
+
+    def _schedule(self, group: ConsistencyGroup) -> None:
+        def tick():
+            if not group.attached or group.suspended:
+                return
+            if not group.flush_in_progress:
+                self.checkpoint(group)
+            # A flush overrunning the period delays the next
+            # checkpoint rather than piling up (§7).
+            group.timer = self.machine.loop.call_after(group.period_ns, tick)
+
+        group.timer = self.machine.loop.call_after(group.period_ns, tick)
+
+    # -- the checkpoint pipeline --------------------------------------------------------------
+
+    def checkpoint(self, group: ConsistencyGroup, name: str = "",
+                   full: bool = False, sync: bool = False,
+                   mode: str = MODE_DISK) -> CheckpointResult:
+        """Run one checkpoint of ``group``; returns its timing."""
+        if mode not in (MODE_DISK, MODE_MEM):
+            raise InvalidArgument(f"bad checkpoint mode {mode}")
+        if group.flush_in_progress:
+            if not sync:
+                raise SLSError("previous checkpoint still flushing")
+            self.machine.loop.drain()
+        clock = self.kernel.clock
+        t_start = clock.now()
+
+        report = quiesce_group(self.kernel, group)
+        t_quiesced = clock.now()
+
+        self.shadow.collapse_completed(group)
+
+        if mode == MODE_MEM:
+            txn = _MemTxn(self.store)
+        else:
+            txn = self.store.begin_checkpoint(group.group_id, name=name,
+                                              parent=group.last_ckpt_id)
+        flush_items = self.shadow.shadow_group(group, full=full)
+        t_shadowed = clock.now()
+
+        serializer = CheckpointSerializer(self.kernel, group, self.store,
+                                          txn)
+        serializer.serialize_all()
+        for item in flush_items:
+            txn.put_object(item.oid, "vmobject", item.record)
+            txn.put_pages(item.oid, item.pages)
+        clock.advance(costs.CKPT_ORCH_BASE if mode == MODE_DISK
+                      else costs.CKPT_ATOMIC_BASE)
+        t_serialized = clock.now()
+
+        if mode == MODE_DISK:
+            self.extsync.seal(group, txn.info.ckpt_id)
+        resume_group(self.kernel, group)
+
+        result = CheckpointResult(txn.info if mode == MODE_DISK else None,
+                                  mode)
+        result.quiesce_ns = t_quiesced - t_start
+        result.shadow_ns = t_shadowed - t_quiesced
+        result.serialize_ns = t_serialized - t_shadowed
+        result.stop_ns = clock.now() - t_start
+        result.pages_flushed = sum(len(i.pages) for i in flush_items)
+
+        if mode == MODE_MEM:
+            # Nothing to flush: shadows are immediately collapsible.
+            self.shadow.mark_flushed(group)
+            group.stats["checkpoints"] += 1
+            group.stats["stop_ns_total"] += result.stop_ns
+            group.stats["stop_ns_max"] = max(group.stats["stop_ns_max"],
+                                             result.stop_ns)
+            return result
+
+        result.bytes_staged = txn.staged_bytes()
+        group.flush_in_progress = True
+
+        def on_complete(info):
+            group.flush_in_progress = False
+            group.last_complete_id = info.ckpt_id
+            self.shadow.mark_flushed(group)
+            self.extsync.release(info.ckpt_id)
+            if group.history_limit is not None:
+                self.store.retain_last(group.group_id,
+                                       group.history_limit)
+            if self.kernel.pageout.memory_pressure():
+                # Freshly flushed pages are clean: reclaim them without
+                # IO (§6 Memory Overcommitment).
+                objects = []
+                for track in group.tracks.values():
+                    objects.extend(track.active.chain())
+                self.kernel.pageout.run_pageout(objects,
+                                                store=self.store)
+
+        info = self.store.commit(txn, sync=sync, on_complete=on_complete)
+        group.last_ckpt_id = info.ckpt_id
+        if self.slsfs is not None and self.slsfs.has_dirty():
+            # File state commits on the same cadence (checkpoint
+            # consistency, §5.2).
+            self.slsfs.checkpoint(sync=sync)
+        group.stats["checkpoints"] += 1
+        group.stats["stop_ns_total"] += result.stop_ns
+        group.stats["stop_ns_max"] = max(group.stats["stop_ns_max"],
+                                         result.stop_ns)
+        group.stats["pages_flushed"] += result.pages_flushed
+        group.stats["bytes_flushed"] += info.data_bytes
+        return result
+
+    def barrier(self, group: ConsistencyGroup) -> int:
+        """Wait until the group's newest checkpoint is durable
+        (sls_barrier); returns the checkpoint id."""
+        if group.flush_in_progress:
+            self.machine.loop.drain()
+        if group.last_complete_id is None:
+            raise SLSError("no checkpoint has completed yet")
+        return group.last_complete_id
+
+    # -- restore ---------------------------------------------------------------------------------
+
+    def restorable_groups(self) -> List[int]:
+        """Group ids with at least one complete checkpoint on disk."""
+        found = set()
+        for info in self.store.checkpoints.values():
+            if info.complete and not info.partial \
+                    and info.group_id != SLSFS.GROUP_ID:
+                found.add(info.group_id)
+        return sorted(found)
+
+    def restore(self, group_id: int, ckpt_id: Optional[int] = None,
+                lazy: bool = False, periodic: bool = True) -> RestoreResult:
+        """``sls restore``: recreate an application from the store."""
+        if ckpt_id is None:
+            # Partial (sls_memckpt) checkpoints count: the merged view
+            # composes them on top of the preceding full checkpoint.
+            chain = self.store.checkpoints_for(group_id,
+                                               include_partial=True)
+            if not chain:
+                raise NoSuchCheckpoint(f"group {group_id} has no complete "
+                                       f"checkpoint")
+            ckpt_id = chain[-1].ckpt_id
+        restorer = GroupRestorer(self.kernel, self.store, self.slsfs)
+        result = restorer.restore(ckpt_id, lazy=lazy)
+        self.groups[result.group.group_id] = result.group
+        if periodic:
+            self._schedule(result.group)
+        return result
+
+    # -- suspend / resume ----------------------------------------------------------------------------
+
+    def suspend(self, group: ConsistencyGroup) -> int:
+        """``sls suspend``: final checkpoint, then tear down the
+        processes; the application lives on only in the store."""
+        result = self.checkpoint(group, name="suspend", full=True,
+                                 sync=True)
+        for proc in list(group.processes):
+            proc.exit(0)
+        if group.timer is not None:
+            group.timer.cancel()
+            group.timer = None
+        group.suspended = True
+        self.groups.pop(group.group_id, None)
+        return result.info.ckpt_id
+
+    def resume(self, group_id: int, lazy: bool = False) -> RestoreResult:
+        """``sls resume``: bring a suspended application back."""
+        return self.restore(group_id, lazy=lazy)
+
+    # -- listing --------------------------------------------------------------------------------------
+
+    def history(self, group_id: int) -> List[dict]:
+        """``sls history``: every retained checkpoint of one group."""
+        return [{
+            "ckpt_id": info.ckpt_id,
+            "name": info.name,
+            "time_ns": info.time_ns,
+            "partial": info.partial,
+            "data_bytes": info.data_bytes,
+        } for info in self.store.checkpoints_for(group_id,
+                                                 include_partial=True)]
+
+    def ps(self) -> List[dict]:
+        """``sls ps``: applications and checkpoints known to Aurora."""
+        rows = []
+        for group_id in self.restorable_groups():
+            chain = self.store.checkpoints_for(group_id)
+            live = self.groups.get(group_id)
+            rows.append({
+                "group_id": group_id,
+                "name": live.name if live is not None
+                else (chain[-1].name or f"group{group_id}"),
+                "attached": live is not None and live.attached,
+                "processes": len(live.processes) if live is not None else 0,
+                "checkpoints": len(chain),
+                "latest_ckpt": chain[-1].ckpt_id if chain else None,
+            })
+        return rows
+
+
+def load_aurora(machine, checkpoint_period_ns: Optional[int] = None
+                ) -> Orchestrator:
+    """Format-or-recover the store, mount the Aurora FS, build the SLS."""
+    kernel = machine.kernel
+    store = ObjectStore(machine)
+    recovered = store.mount()
+    if not recovered:
+        store.format()
+    slsfs = SLSFS(kernel, store)
+    if recovered:
+        slsfs.recover()
+    kernel.vfs = VFS(kernel, slsfs)
+    period = checkpoint_period_ns or ConsistencyGroup.DEFAULT_PERIOD
+    return Orchestrator(machine, store, slsfs, default_period_ns=period)

@@ -1,0 +1,174 @@
+"""Exception hierarchy for the Aurora reproduction.
+
+The simulated kernel reports POSIX-style failures with
+:class:`KernelError` subclasses carrying an errno-like name, while the
+single level store and object store have their own failure domains.
+Keeping the hierarchy in one module lets callers catch at whatever
+granularity they need (``except ReproError`` at the top level, or
+``except BadFileDescriptor`` in a test).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# --- kernel / POSIX -------------------------------------------------------
+
+
+class KernelError(ReproError):
+    """A simulated system call failed.
+
+    ``errno_name`` mirrors the POSIX errno the real kernel would return
+    so tests can assert on it without string matching.
+    """
+
+    errno_name = "EINVAL"
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.errno_name)
+
+
+class BadFileDescriptor(KernelError):
+    """EBADF: the fd is not open in the calling process."""
+    errno_name = "EBADF"
+
+
+class NoSuchFile(KernelError):
+    """ENOENT: no such file, key, or named object."""
+    errno_name = "ENOENT"
+
+
+class FileExists(KernelError):
+    """EEXIST: the name already exists."""
+    errno_name = "EEXIST"
+
+
+class NotADirectory(KernelError):
+    """ENOTDIR: a path component is not a directory."""
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(KernelError):
+    """EISDIR: data operation attempted on a directory."""
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(KernelError):
+    """ENOTEMPTY: directory removal with entries present."""
+    errno_name = "ENOTEMPTY"
+
+
+class NoSuchProcess(KernelError):
+    """ESRCH: no process with that pid."""
+    errno_name = "ESRCH"
+
+
+class PermissionDenied(KernelError):
+    """EPERM: the operation is not permitted."""
+    errno_name = "EPERM"
+
+
+class InvalidArgument(KernelError):
+    """EINVAL: a malformed or out-of-range argument."""
+    errno_name = "EINVAL"
+
+
+class WouldBlock(KernelError):
+    """EAGAIN: the operation would block (buffers full/empty)."""
+    errno_name = "EAGAIN"
+
+
+class BrokenPipe(KernelError):
+    """EPIPE: writing to a pipe with no readers."""
+    errno_name = "EPIPE"
+
+
+class NotConnected(KernelError):
+    """ENOTCONN: socket operation without a peer."""
+    errno_name = "ENOTCONN"
+
+
+class ConnectionRefused(KernelError):
+    """ECONNREFUSED: no listener at the destination."""
+    errno_name = "ECONNREFUSED"
+
+
+class AddressInUse(KernelError):
+    """EADDRINUSE: the address/port is already bound."""
+    errno_name = "EADDRINUSE"
+
+
+class SegmentationFault(KernelError):
+    """Access to an unmapped or protection-violating address."""
+
+    errno_name = "SIGSEGV"
+
+
+class NoSpace(KernelError):
+    """ENOSPC: the backing object (journal, device) is full."""
+    errno_name = "ENOSPC"
+
+
+class Interrupted(KernelError):
+    """EINTR: the call was interrupted (never leaks past quiesce)."""
+    errno_name = "EINTR"
+
+
+# --- single level store ---------------------------------------------------
+
+
+class SLSError(ReproError):
+    """Base class for Aurora single-level-store failures."""
+
+
+class NotAttached(SLSError):
+    """Operation requires the process to be in a consistency group."""
+
+
+class AlreadyAttached(SLSError):
+    """Process is already part of a consistency group."""
+
+
+class NoSuchCheckpoint(SLSError):
+    """Requested checkpoint id does not exist in the store."""
+
+
+class RestoreError(SLSError):
+    """A restore could not recreate the application."""
+
+
+# --- object store ----------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for object-store failures."""
+
+
+class StoreFull(StoreError):
+    """The backing device has no free extents."""
+
+
+class CorruptRecord(StoreError):
+    """A record failed checksum or decode validation."""
+
+
+class NoSuchObject(StoreError):
+    """Object id is not present in the store."""
+
+
+# --- simulated hardware ----------------------------------------------------
+
+
+class HardwareError(ReproError):
+    """Base class for simulated-device failures."""
+
+
+class DeviceFull(HardwareError):
+    """Write past the end of a simulated device."""
+
+
+class MachineCrashed(ReproError):
+    """Raised when code touches a kernel that has been crashed."""

@@ -1,0 +1,25 @@
+"""Simulated hardware: deterministic clock, CPUs, memory, NVMe and NICs.
+
+The hardware layer is the substitution boundary of this reproduction
+(see DESIGN.md §2): everything above it — the kernel, the object store,
+Aurora itself — is a real implementation operating on real object
+graphs; everything below it is a calibrated latency/bandwidth model.
+"""
+
+from .clock import SimClock, EventLoop
+from .cpu import CPU, CPUSet
+from .memory import Page, PhysicalMemory
+from .nvme import NVMeDevice, StripedArray
+from .nic import NIC
+
+__all__ = [
+    "SimClock",
+    "EventLoop",
+    "CPU",
+    "CPUSet",
+    "Page",
+    "PhysicalMemory",
+    "NVMeDevice",
+    "StripedArray",
+    "NIC",
+]

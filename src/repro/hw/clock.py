@@ -1,0 +1,135 @@
+"""Deterministic simulated time.
+
+Every :class:`~repro.machine.Machine` owns a single :class:`SimClock`.
+All durations in the simulator are integer nanoseconds; components call
+:meth:`SimClock.advance` with costs from :mod:`repro.core.costs` rather
+than sleeping, so an entire evaluation run is deterministic and takes
+wall time proportional only to the number of simulated *events*.
+
+The :class:`EventLoop` provides time-ordered callbacks on top of the
+clock.  The SLS orchestrator uses it for its periodic checkpoint timer
+and for asynchronous flush completions; benchmarks use it to interleave
+workload requests with checkpoints.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from ..units import fmt_time
+
+
+class SimClock:
+    """Monotonic simulated clock with integer-nanosecond resolution."""
+
+    def __init__(self, start_ns: int = 0):
+        if start_ns < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now = start_ns
+
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def advance(self, delta_ns: int) -> int:
+        """Advance the clock by ``delta_ns`` and return the new time."""
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance time backwards ({delta_ns} ns)")
+        self._now += delta_ns
+        return self._now
+
+    def advance_to(self, when_ns: int) -> int:
+        """Advance the clock to an absolute time (no-op if in the past)."""
+        if when_ns > self._now:
+            self._now = when_ns
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={fmt_time(self._now)})"
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`EventLoop.call_at`."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: int, seq: int, callback: Callable[[], Any]):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when due."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class EventLoop:
+    """Time-ordered callback scheduler over a :class:`SimClock`.
+
+    Events scheduled for the same instant run in scheduling order, which
+    keeps runs reproducible.  Callbacks may schedule further events.
+    """
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def call_at(self, when_ns: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``when_ns``."""
+        if when_ns < self.clock.now():
+            raise ValueError("cannot schedule an event in the past")
+        event = Event(when_ns, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_after(self, delay_ns: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` ``delay_ns`` nanoseconds from now."""
+        return self.call_at(self.clock.now() + delay_ns, callback)
+
+    def next_deadline(self) -> Optional[int]:
+        """Time of the earliest pending event, or None if the loop is idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].when if self._heap else None
+
+    def run_until(self, when_ns: int) -> int:
+        """Run every event scheduled at or before ``when_ns``.
+
+        The clock is advanced to each event's deadline before its
+        callback runs, and finally to ``when_ns``.  Returns the number
+        of callbacks executed.
+        """
+        executed = 0
+        while True:
+            deadline = self.next_deadline()
+            if deadline is None or deadline > when_ns:
+                break
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.callback()
+            executed += 1
+        self.clock.advance_to(when_ns)
+        return executed
+
+    def run_pending(self) -> int:
+        """Run every event due at or before the *current* time."""
+        return self.run_until(self.clock.now())
+
+    def drain(self, limit: int = 1_000_000) -> int:
+        """Run events until the loop is empty (bounded by ``limit``)."""
+        executed = 0
+        while executed < limit:
+            deadline = self.next_deadline()
+            if deadline is None:
+                return executed
+            executed += self.run_until(deadline)
+        raise RuntimeError("event loop failed to drain (runaway rescheduling?)")

@@ -1,0 +1,15 @@
+"""The simulated FreeBSD-like kernel substrate.
+
+Everything Aurora checkpoints lives here: the Mach-style VM system
+(:mod:`repro.kernel.vm`), processes/threads/sessions
+(:mod:`repro.kernel.proc`), the VFS and file descriptor layer
+(:mod:`repro.kernel.fs`), IPC objects (:mod:`repro.kernel.ipc`),
+sockets (:mod:`repro.kernel.net`), async IO and the pageout daemon.
+:class:`repro.kernel.kernel.Kernel` is the facade that boots the
+subsystems and exposes the syscall-style API used by applications,
+tests and the Aurora orchestrator.
+"""
+
+from .kernel import Kernel
+
+__all__ = ["Kernel"]

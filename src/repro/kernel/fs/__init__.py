@@ -1,0 +1,21 @@
+"""VFS layer: vnodes, path lookup, open files and fd tables.
+
+File *data* lives in each regular vnode's VM object — the same
+arrangement as FreeBSD, and the property Aurora exploits to treat
+memory-mapped files and anonymous memory identically in the object
+store (§5.2 "Memory mapped regions and files are treated identically
+in the object store").
+"""
+
+from .vnode import Vnode, VREG, VDIR
+from .filesystem import Filesystem, MemFS
+from .vfs import VFS
+from .file import (OpenFile, FDTable, O_RDONLY, O_WRONLY, O_RDWR, O_CREAT,
+                   O_APPEND, O_TRUNC)
+
+__all__ = [
+    "Vnode", "VREG", "VDIR",
+    "Filesystem", "MemFS", "VFS",
+    "OpenFile", "FDTable",
+    "O_RDONLY", "O_WRONLY", "O_RDWR", "O_CREAT", "O_APPEND", "O_TRUNC",
+]

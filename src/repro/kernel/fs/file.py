@@ -1,0 +1,176 @@
+"""Open files and file descriptor tables.
+
+This module is where the paper's fd-sharing semantics live (§5.1
+"File Descriptors"): an :class:`OpenFile` is FreeBSD's ``struct file``
+— it owns the offset and open mode — while the underlying object (a
+vnode, pipe end, socket, ...) is shared at another level entirely.
+
+* ``open()`` twice on one path → two OpenFiles, one vnode: independent
+  offsets, shared data.
+* ``fork()`` / ``dup()`` / SCM_RIGHTS → one OpenFile in two tables or
+  slots: *shared* offset.
+
+Aurora checkpoints OpenFiles and vnodes as distinct first-class
+objects, which is how it reproduces both relationships for free; the
+CRIU baseline must rediscover them by cross-referencing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...errors import BadFileDescriptor, InvalidArgument
+from ..kobject import KObject
+from .vnode import Vnode
+
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+#: OpenFile.ftype values; each maps to a checkpoint serializer.
+DTYPE_VNODE = "vnode"
+DTYPE_PIPE = "pipe"
+DTYPE_SOCKET = "socket"
+DTYPE_KQUEUE = "kqueue"
+DTYPE_PTS = "pts"
+DTYPE_SHM = "shm"
+DTYPE_DEVICE = "device"
+
+
+class OpenFile(KObject):
+    """An open file description (``struct file``): offset + mode + object."""
+
+    obj_type = "file"
+
+    def __init__(self, kernel, fobj: KObject, ftype: str, flags: int = O_RDWR):
+        super().__init__(kernel)
+        self.fobj = fobj
+        self.ftype = ftype
+        self.flags = flags
+        self.offset = 0
+        fobj.ref()
+        #: External synchrony suppressed via sls_fdctl (§3).
+        self.sls_nosync = False
+
+    @property
+    def vnode(self) -> Vnode:
+        """The backing vnode (raises unless vnode-backed)."""
+        if self.ftype != DTYPE_VNODE or not isinstance(self.fobj, Vnode):
+            raise InvalidArgument("not a vnode-backed file")
+        return self.fobj
+
+    def readable(self) -> bool:
+        """True when the open mode permits reads."""
+        return (self.flags & 0x3) in (O_RDONLY, O_RDWR)
+
+    def writable(self) -> bool:
+        """True when the open mode permits writes."""
+        return (self.flags & 0x3) in (O_WRONLY, O_RDWR)
+
+    def destroy(self) -> None:
+        """Last reference: close the object; reclaim orphan vnodes."""
+        fobj = self.fobj
+        self.fobj = None
+        close_hook = getattr(fobj, "on_file_close", None)
+        if close_hook is not None:
+            close_hook()
+        fobj.unref()
+        if isinstance(fobj, Vnode) and fobj.link_count == 0 \
+                and not fobj.destroyed and fobj.ref_count == 1:
+            # Last open reference to an unlinked file: the conventional
+            # filesystem reclaims it here.
+            fobj.fs.forget_vnode(fobj)
+
+    def __repr__(self) -> str:
+        return f"OpenFile(kid={self.kid}, {self.ftype}, off={self.offset})"
+
+
+class FDTable(KObject):
+    """A process's descriptor table: small integers → OpenFile refs."""
+
+    obj_type = "fdtable"
+
+    def __init__(self, kernel):
+        super().__init__(kernel)
+        self._fds: Dict[int, OpenFile] = {}
+
+    def _lowest_free(self) -> int:
+        fd = 0
+        while fd in self._fds:
+            fd += 1
+        return fd
+
+    def install(self, file: OpenFile, fd: Optional[int] = None) -> int:
+        """Install an OpenFile, taking a reference; returns the fd."""
+        if fd is None:
+            fd = self._lowest_free()
+        elif fd in self._fds:
+            raise InvalidArgument(f"fd {fd} already in use")
+        file.ref()
+        self._fds[fd] = file
+        return fd
+
+    def get(self, fd: int) -> OpenFile:
+        """The OpenFile at ``fd`` (EBADF when absent)."""
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise BadFileDescriptor(f"fd {fd}")
+
+    def dup(self, fd: int) -> int:
+        """``dup(2)``: a second slot sharing the same OpenFile."""
+        return self.install(self.get(fd))
+
+    def dup2(self, fd: int, target: int) -> int:
+        """dup2(2): duplicate onto a specific slot, closing any victim."""
+        file = self.get(fd)
+        if target in self._fds and self._fds[target] is not file:
+            self.close(target)
+        if target not in self._fds:
+            self.install(file, fd=target)
+        return target
+
+    def close(self, fd: int) -> None:
+        """Remove one fd slot, dropping its OpenFile reference."""
+        file = self._fds.pop(fd, None)
+        if file is None:
+            raise BadFileDescriptor(f"fd {fd}")
+        file.unref()
+
+    def close_all(self) -> None:
+        """Close every slot (process exit)."""
+        for fd in list(self._fds):
+            self.close(fd)
+
+    def fork_copy(self) -> "FDTable":
+        """The fork(2) semantics: child shares every OpenFile."""
+        child = FDTable(self.kernel)
+        for fd, file in self._fds.items():
+            file.ref()
+            child._fds[fd] = file
+        return child
+
+    def fds(self) -> List[int]:
+        """The occupied descriptor numbers, sorted."""
+        return sorted(self._fds)
+
+    def files(self) -> List[OpenFile]:
+        """The OpenFiles in fd order (duplicates included)."""
+        return [self._fds[fd] for fd in sorted(self._fds)]
+
+    def items(self):
+        """(fd, OpenFile) pairs in fd order."""
+        return sorted(self._fds.items())
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self._fds
+
+    def destroy(self) -> None:
+        """Last reference: close the object; reclaim orphan vnodes."""
+        self.close_all()

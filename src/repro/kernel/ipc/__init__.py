@@ -1,0 +1,23 @@
+"""IPC kernel objects: pipes, UNIX sockets, shared memory, kqueues,
+pseudoterminals and device files — the POSIX object menagerie of the
+paper's Table 4."""
+
+from .pipe import Pipe
+from .unixsock import UnixSocket
+from .shm import SharedMemorySegment, PosixShmRegistry, SysVShmRegistry
+from .kqueue import KQueue, KEvent
+from .pty import Pty
+from .devfs import DeviceFile, VDSO
+
+__all__ = [
+    "Pipe",
+    "UnixSocket",
+    "SharedMemorySegment",
+    "PosixShmRegistry",
+    "SysVShmRegistry",
+    "KQueue",
+    "KEvent",
+    "Pty",
+    "DeviceFile",
+    "VDSO",
+]

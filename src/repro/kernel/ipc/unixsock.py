@@ -1,0 +1,161 @@
+"""UNIX domain sockets, including in-flight descriptor passing.
+
+The hard part Aurora handles (§5.3): the socket buffer may contain
+*control messages* carrying file descriptors or credentials.  The
+checkpointer must parse the buffer and persist each in-flight
+descriptor's object — the famous case CRIU only supported seven years
+after release.  Messages here are kept structured (data + attached
+OpenFile list), so the serializer can walk them exactly as Aurora's
+buffer scan does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...errors import (AddressInUse, ConnectionRefused, InvalidArgument,
+                       NotConnected, WouldBlock)
+from ...units import KiB
+from ..kobject import KObject
+
+SOCK_STREAM = "stream"
+SOCK_DGRAM = "dgram"
+
+UNIX_BUFFER_SIZE = 64 * KiB
+
+
+class ControlMessage:
+    """SCM_RIGHTS / SCM_CREDS payload attached to a message."""
+
+    __slots__ = ("files", "creds")
+
+    def __init__(self, files: Optional[list] = None,
+                 creds: Optional[Tuple[int, int, int]] = None):
+        self.files = list(files or [])  # OpenFile references in flight
+        self.creds = creds              # (pid, uid, gid)
+
+
+class Message:
+    """One queued datagram: bytes plus optional control payload."""
+    __slots__ = ("data", "control")
+
+    def __init__(self, data: bytes, control: Optional[ControlMessage] = None):
+        self.data = data
+        self.control = control
+
+
+class UnixSocket(KObject):
+    """One endpoint of a UNIX domain socket."""
+
+    obj_type = "unixsock"
+
+    def __init__(self, kernel, sock_type: str = SOCK_STREAM):
+        super().__init__(kernel)
+        if sock_type not in (SOCK_STREAM, SOCK_DGRAM):
+            raise InvalidArgument(f"bad socket type {sock_type}")
+        self.sock_type = sock_type
+        self.address: Optional[str] = None
+        self.peer: Optional["UnixSocket"] = None
+        self.listening = False
+        self.backlog: List["UnixSocket"] = []
+        self.buffer: List[Message] = []
+        self.buffer_bytes = 0
+        self.options = {"SO_SNDBUF": UNIX_BUFFER_SIZE,
+                        "SO_RCVBUF": UNIX_BUFFER_SIZE}
+
+    # -- naming / connection ------------------------------------------------------
+
+    def bind(self, address: str) -> None:
+        """Claim a filesystem-namespace address."""
+        registry = self.kernel.unix_bindings
+        if address in registry:
+            raise AddressInUse(address)
+        registry[address] = self
+        self.address = address
+
+    def listen(self, backlog: int = 128) -> None:
+        """Accept incoming connections from now on."""
+        self.listening = True
+
+    def connect(self, address: str) -> None:
+        """Connect to a listening socket (queues on its backlog)."""
+        registry = self.kernel.unix_bindings
+        server = registry.get(address)
+        if server is None or not server.listening:
+            raise ConnectionRefused(address)
+        accepted = UnixSocket(self.kernel, self.sock_type)
+        accepted.peer = self
+        self.peer = accepted
+        server.backlog.append(accepted)
+
+    def accept(self) -> "UnixSocket":
+        """Pop one established connection off the backlog."""
+        if not self.listening:
+            raise InvalidArgument("socket is not listening")
+        if not self.backlog:
+            raise WouldBlock("no pending connections")
+        return self.backlog.pop(0)
+
+    @classmethod
+    def socketpair(cls, kernel, sock_type: str = SOCK_STREAM):
+        """Two mutually connected sockets (no namespace involved)."""
+        left = cls(kernel, sock_type)
+        right = cls(kernel, sock_type)
+        left.peer = right
+        right.peer = left
+        return left, right
+
+    # -- data transfer ---------------------------------------------------------------
+
+    def sendmsg(self, data: bytes,
+                control: Optional[ControlMessage] = None) -> int:
+        """Queue a message (optionally with SCM control payload)."""
+        if self.peer is None:
+            raise NotConnected("socket has no peer")
+        peer = self.peer
+        if peer.buffer_bytes + len(data) > peer.options["SO_RCVBUF"]:
+            raise WouldBlock("peer receive buffer full")
+        if control is not None:
+            for file in control.files:
+                file.ref()  # the in-flight message owns a reference
+        peer.buffer.append(Message(data, control))
+        peer.buffer_bytes += len(data)
+        return len(data)
+
+    def send(self, data: bytes) -> int:
+        """Queue plain bytes to the peer."""
+        return self.sendmsg(data)
+
+    def recvmsg(self) -> Message:
+        """Pop the oldest message, control payload included."""
+        if not self.buffer:
+            raise WouldBlock("no messages")
+        message = self.buffer.pop(0)
+        self.buffer_bytes -= len(message.data)
+        return message
+
+    def recv(self) -> bytes:
+        """Pop the oldest message's bytes."""
+        return self.recvmsg().data
+
+    def inflight_files(self) -> list:
+        """Every OpenFile sitting in this socket's receive buffer —
+        the set the checkpoint serializer must chase (§5.3)."""
+        files = []
+        for message in self.buffer:
+            if message.control is not None:
+                files.extend(message.control.files)
+        return files
+
+    def destroy(self) -> None:
+        """Release the address, drop in-flight fd references."""
+        if self.address is not None:
+            self.kernel.unix_bindings.pop(self.address, None)
+        for message in self.buffer:
+            if message.control is not None:
+                for file in message.control.files:
+                    file.unref()
+        self.buffer = []
+        if self.peer is not None and self.peer.peer is self:
+            self.peer.peer = None
+        self.peer = None

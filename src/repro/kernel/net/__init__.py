@@ -1,0 +1,14 @@
+"""Network sockets: UDP and TCP over the simulated NIC."""
+
+from .sockbuf import SockBuf
+from .udp import UDPSocket
+from .tcp import TCPSocket, TCP_LISTEN, TCP_ESTABLISHED, TCP_CLOSED
+
+__all__ = [
+    "SockBuf",
+    "UDPSocket",
+    "TCPSocket",
+    "TCP_LISTEN",
+    "TCP_ESTABLISHED",
+    "TCP_CLOSED",
+]

@@ -1,0 +1,141 @@
+"""TCP sockets.
+
+Aurora checkpoints listening sockets *without* their accept queue —
+to a client this looks like a dropped SYN, and the client retries
+(§5.3).  For established connections it saves the 5-tuple, sequence
+numbers, options and both socket buffers.  The reproduction keeps
+exactly that state, and the restore tests assert the accept-queue
+omission behaves as the paper describes (pending connections are gone;
+re-connecting succeeds).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...errors import (AddressInUse, ConnectionRefused, InvalidArgument,
+                       NotConnected, WouldBlock)
+from ...units import KiB
+from ..kobject import KObject
+from .sockbuf import SockBuf
+
+TCP_CLOSED = "closed"
+TCP_LISTEN = "listen"
+TCP_ESTABLISHED = "established"
+
+#: Initial send sequence chosen deterministically per connection.
+_ISS_STEP = 64009
+
+
+class TCPSocket(KObject):
+    """One TCP endpoint."""
+
+    obj_type = "tcpsock"
+
+    def __init__(self, kernel):
+        super().__init__(kernel)
+        self.state = TCP_CLOSED
+        self.laddr: Optional[str] = None
+        self.lport: Optional[int] = None
+        self.raddr: Optional[str] = None
+        self.rport: Optional[int] = None
+        self.snd_nxt = 0
+        self.rcv_nxt = 0
+        self.options = {"TCP_NODELAY": 0, "SO_SNDBUF": 64 * KiB,
+                        "SO_RCVBUF": 64 * KiB, "SO_KEEPALIVE": 0}
+        self.sndbuf = SockBuf()
+        self.rcvbuf = SockBuf()
+        #: LISTEN only: fully established, not-yet-accepted sockets.
+        self.accept_queue: List["TCPSocket"] = []
+        self.peer: Optional["TCPSocket"] = None
+
+    # -- passive side -----------------------------------------------------------
+
+    def bind(self, addr: str, port: int) -> None:
+        """Claim a local (address, port)."""
+        key = ("tcp", addr, port)
+        bindings = self.kernel.port_bindings
+        if key in bindings:
+            raise AddressInUse(f"tcp {addr}:{port}")
+        bindings[key] = self
+        self.laddr = addr
+        self.lport = port
+
+    def listen(self, backlog: int = 128) -> None:
+        """Enter LISTEN; connections queue up to the backlog."""
+        if self.lport is None:
+            raise InvalidArgument("listen before bind")
+        self.state = TCP_LISTEN
+        self.backlog = backlog
+
+    def accept(self) -> "TCPSocket":
+        """Pop one ESTABLISHED connection from the accept queue."""
+        if self.state != TCP_LISTEN:
+            raise InvalidArgument("socket is not listening")
+        if not self.accept_queue:
+            raise WouldBlock("accept queue empty")
+        return self.accept_queue.pop(0)
+
+    # -- active side --------------------------------------------------------------
+
+    def connect(self, addr: str, port: int) -> None:
+        """Three-way handshake against a listening socket."""
+        listener = self.kernel.port_bindings.get(("tcp", addr, port))
+        if listener is None or listener.state != TCP_LISTEN:
+            raise ConnectionRefused(f"tcp {addr}:{port}")
+        if len(listener.accept_queue) >= listener.backlog:
+            raise ConnectionRefused("backlog full (SYN dropped)")
+        server_side = TCPSocket(self.kernel)
+        server_side.state = TCP_ESTABLISHED
+        server_side.laddr, server_side.lport = addr, port
+        server_side.raddr = self.laddr or "client"
+        server_side.rport = self.lport or 0
+        iss = (self.kid * _ISS_STEP) & 0xFFFFFFFF
+        server_side.snd_nxt = (server_side.kid * _ISS_STEP) & 0xFFFFFFFF
+        server_side.rcv_nxt = iss
+        server_side.peer = self
+        self.state = TCP_ESTABLISHED
+        self.raddr, self.rport = addr, port
+        self.snd_nxt = iss
+        self.rcv_nxt = server_side.snd_nxt
+        self.peer = server_side
+        listener.accept_queue.append(server_side)
+
+    # -- data ------------------------------------------------------------------------
+
+    def send(self, payload: bytes) -> int:
+        """Append to the peer's receive buffer; advances snd_nxt."""
+        if self.state != TCP_ESTABLISHED or self.peer is None:
+            raise NotConnected("send on unconnected socket")
+        accepted = self.peer.rcvbuf.append(payload)
+        self.snd_nxt = (self.snd_nxt + accepted) & 0xFFFFFFFF
+        self.peer.rcv_nxt = self.snd_nxt
+        return accepted
+
+    def recv(self, nbytes: int) -> bytes:
+        """Take up to ``nbytes`` from the receive buffer."""
+        if self.state != TCP_ESTABLISHED:
+            raise NotConnected("recv on unconnected socket")
+        if not len(self.rcvbuf):
+            raise WouldBlock("no data")
+        return self.rcvbuf.take(nbytes)
+
+    def five_tuple(self) -> Tuple[str, Optional[str], Optional[int],
+                                  Optional[str], Optional[int]]:
+        """(proto, laddr, lport, raddr, rport) — checkpointed state."""
+        return ("tcp", self.laddr, self.lport, self.raddr, self.rport)
+
+    def close(self) -> None:
+        """Tear down the connection (peer sees a dead link)."""
+        if self.peer is not None and self.peer.peer is self:
+            self.peer.peer = None
+        self.peer = None
+        self.state = TCP_CLOSED
+
+    def destroy(self) -> None:
+        """Release the port binding and the peer link."""
+        if self.lport is not None:
+            key = ("tcp", self.laddr, self.lport)
+            if self.kernel.port_bindings.get(key) is self:
+                self.kernel.port_bindings.pop(key, None)
+        self.close()

@@ -1,0 +1,68 @@
+"""UDP sockets.
+
+Checkpointed state per §5.3: address, port, options and the socket
+buffer (as queued datagrams)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...errors import AddressInUse, WouldBlock
+from ...units import KiB
+from ..kobject import KObject
+
+
+class Datagram:
+    """One queued datagram: source address + payload."""
+    __slots__ = ("source", "payload")
+
+    def __init__(self, source: Tuple[str, int], payload: bytes):
+        self.source = source
+        self.payload = payload
+
+
+class UDPSocket(KObject):
+    """A UDP endpoint with a datagram receive queue."""
+
+    obj_type = "udpsock"
+
+    def __init__(self, kernel):
+        super().__init__(kernel)
+        self.laddr: Optional[str] = None
+        self.lport: Optional[int] = None
+        self.options = {"SO_RCVBUF": 64 * KiB, "SO_REUSEADDR": 0}
+        self.rcvqueue: List[Datagram] = []
+        self.rcvbytes = 0
+
+    def bind(self, addr: str, port: int) -> None:
+        """Claim a local (address, port) for receiving."""
+        key = ("udp", addr, port)
+        bindings = self.kernel.port_bindings
+        if key in bindings and not self.options["SO_REUSEADDR"]:
+            raise AddressInUse(f"udp {addr}:{port}")
+        bindings[key] = self
+        self.laddr = addr
+        self.lport = port
+
+    def enqueue(self, source: Tuple[str, int], payload: bytes) -> bool:
+        """Datagram arrival; silently dropped when the buffer is full
+        (UDP semantics)."""
+        if self.rcvbytes + len(payload) > self.options["SO_RCVBUF"]:
+            return False
+        self.rcvqueue.append(Datagram(source, payload))
+        self.rcvbytes += len(payload)
+        return True
+
+    def recvfrom(self) -> Tuple[bytes, Tuple[str, int]]:
+        """Pop the oldest datagram: (payload, source)."""
+        if not self.rcvqueue:
+            raise WouldBlock("no datagrams")
+        dgram = self.rcvqueue.pop(0)
+        self.rcvbytes -= len(dgram.payload)
+        return dgram.payload, dgram.source
+
+    def destroy(self) -> None:
+        """Release the port binding."""
+        if self.lport is not None:
+            self.kernel.port_bindings.pop(("udp", self.laddr, self.lport),
+                                          None)

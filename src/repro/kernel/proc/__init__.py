@@ -1,0 +1,18 @@
+"""Processes, threads, IDs, sessions, signals and the syscall boundary."""
+
+from .pid import PIDAllocator, IDVirtualization
+from .process import Process
+from .thread import Thread, CPUState
+from .session import Session, ProcessGroup
+from . import signals
+
+__all__ = [
+    "PIDAllocator",
+    "IDVirtualization",
+    "Process",
+    "Thread",
+    "CPUState",
+    "Session",
+    "ProcessGroup",
+    "signals",
+]

@@ -1,0 +1,121 @@
+"""Threads and CPU state.
+
+Checkpointing a thread means capturing its registers off the kernel
+stack, its FPU/vector state, its signal state and scheduling fields
+(§5.1 "Process, Thread, and CPU State").  The thread also tracks
+*where* it is relative to the user/kernel boundary, which is what the
+quiesce logic (:mod:`repro.core.quiesce`) inspects: a thread in
+userspace is IPI'd to the boundary, a thread in a fast syscall is
+waited out, and a thread sleeping in a syscall has its program counter
+rewound so it transparently reissues the call after restore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...errors import InvalidArgument
+from ..kobject import KObject
+from .signals import SignalState
+
+#: Thread positions relative to the user/kernel boundary.
+IN_USER = "user"
+IN_SYSCALL = "syscall"
+IN_SYSCALL_SLEEPING = "syscall-sleeping"
+AT_BOUNDARY = "boundary"
+
+#: x86-64 general purpose register names we carry around.
+GP_REGISTERS = (
+    "rip", "rsp", "rbp", "rax", "rbx", "rcx", "rdx",
+    "rsi", "rdi", "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+    "rflags",
+)
+
+
+class CPUState:
+    """General purpose + FPU/vector register state of one thread."""
+
+    def __init__(self):
+        self.regs: Dict[str, int] = {name: 0 for name in GP_REGISTERS}
+        #: Opaque FPU/SSE/AVX save area (x87 tag words, XMM/YMM...).
+        self.fpu: bytes = b"\x00" * 64
+        #: Lazy-FPU processors keep vector state on the CPU until an
+        #: IPI flushes it into the process structure (§5.1).
+        self.fpu_on_cpu = False
+
+    def snapshot(self) -> dict:
+        """Checkpointable register/FPU state."""
+        return {"regs": dict(self.regs), "fpu": self.fpu}
+
+    def restore(self, state: dict) -> None:
+        """Load register/FPU state from a checkpoint."""
+        regs = state["regs"]
+        unknown = set(regs) - set(GP_REGISTERS)
+        if unknown:
+            raise InvalidArgument(f"unknown registers: {sorted(unknown)}")
+        self.regs.update(regs)
+        self.fpu = state["fpu"]
+        self.fpu_on_cpu = False
+
+    def rewind_to_syscall_entry(self) -> None:
+        """Rewind %rip to just before the ``syscall`` instruction so a
+        restarted thread reissues the interrupted call (§5.1)."""
+        self.regs["rip"] -= 2  # sizeof(syscall opcode) == 2 on x86-64
+
+
+class Thread(KObject):
+    """One kernel-scheduled thread."""
+
+    obj_type = "thread"
+
+    def __init__(self, kernel, proc, tid: int):
+        super().__init__(kernel)
+        self.proc = proc
+        #: Global (system-visible) thread id.
+        self.tid = tid
+        #: Local (application-visible) id; differs after a restore.
+        self.local_tid = tid
+        self.cpu_state = CPUState()
+        self.signals = SignalState()
+        self.sched_priority = 120
+        self.location = IN_USER
+        self.current_syscall: Optional[str] = None
+        #: Set when a sleeping syscall was interrupted by a quiesce and
+        #: will be transparently reissued.
+        self.syscall_restarted = False
+
+    # -- syscall boundary tracking ------------------------------------------------
+
+    def enter_syscall(self, name: str, sleeping: bool = False) -> None:
+        """Cross into the kernel (optionally into a sleep)."""
+        if self.location not in (IN_USER, AT_BOUNDARY):
+            raise InvalidArgument(f"{self} is already in the kernel")
+        self.current_syscall = name
+        self.location = IN_SYSCALL_SLEEPING if sleeping else IN_SYSCALL
+
+    def leave_syscall(self) -> None:
+        """Return to userspace."""
+        self.current_syscall = None
+        self.location = IN_USER
+
+    def park_at_boundary(self) -> None:
+        """Quiesce: stop the thread at the user/kernel boundary."""
+        if self.location == IN_SYSCALL_SLEEPING:
+            # Interrupt the sleep and rewind the PC so the call is
+            # reissued invisibly (no EINTR leaks to userspace).
+            self.cpu_state.rewind_to_syscall_entry()
+            self.syscall_restarted = True
+        self.current_syscall = None
+        self.location = AT_BOUNDARY
+
+    def resume(self) -> None:
+        """Leave the boundary; reissue a rewound syscall if armed."""
+        if self.location != AT_BOUNDARY:
+            return
+        self.location = IN_USER
+        if self.syscall_restarted:
+            # The thread immediately reissues the rewound syscall.
+            self.syscall_restarted = False
+
+    def __repr__(self) -> str:
+        return f"Thread(tid={self.tid}, pid={self.proc.pid}, {self.location})"

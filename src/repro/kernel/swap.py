@@ -1,0 +1,160 @@
+"""The pageout daemon, unified with the object store (§6 "Memory
+Overcommitment").
+
+Aurora subsumes swap: a page already captured by a checkpoint is
+*clean* — its exact content is addressable in the store — and can be
+evicted without IO; dirty pages are flushed through the store's data
+path (into the next checkpoint's space) rather than to a separate swap
+partition whose metadata would be lost on crash.  On fault, the most
+recent version is paged back in from the store.
+
+Cleanliness lives on the :class:`~repro.hw.memory.Page` itself
+(``clean_locator``, stamped by the flush path): pages are immutable
+and replaced on write, so a stale marker is impossible, and the marker
+survives system-shadow collapses moving the page between VM objects.
+
+``madvise`` hints bias the eviction policy, and lazy restores reuse
+the same page-in path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core import costs
+from ..errors import InvalidArgument
+from ..units import PAGE_SIZE
+from .vm.vmobject import VMObject
+
+#: madvise hints the policy understands.
+MADV_NORMAL = "normal"
+MADV_DONTNEED = "dontneed"
+MADV_WILLNEED = "willneed"
+
+
+class PageoutDaemon:
+    """Evicts pages under memory pressure via the object store."""
+
+    #: Start evicting above this usage ratio.
+    HIGH_WATERMARK = 0.90
+    #: Evict down to this ratio.
+    LOW_WATERMARK = 0.85
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        #: (object kid, pindex) -> store locator for evicted pages.
+        self.evicted: Dict[Tuple[int, int], object] = {}
+        #: madvise hints: object kid -> {pindex -> hint}.
+        self.hints: Dict[int, Dict[int, str]] = {}
+        self.evictions_clean = 0
+        self.evictions_dirty = 0
+        self.pageins = 0
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def mark_clean(self, vmobject: VMObject, pindex: int,
+                   locator: object) -> None:
+        """Record that a page's current content is persisted (the
+        flush path normally stamps pages itself; this is the explicit
+        form for tests and recovery paths)."""
+        page = vmobject.pages.get(pindex)
+        if page is not None:
+            page.clean_locator = locator
+
+    def madvise(self, vmobject: VMObject, pindex: int, hint: str) -> None:
+        """Record an eviction-policy hint for one page."""
+        if hint not in (MADV_NORMAL, MADV_DONTNEED, MADV_WILLNEED):
+            raise InvalidArgument(f"bad madvise hint {hint}")
+        self.hints.setdefault(vmobject.kid, {})[pindex] = hint
+
+    # -- eviction -------------------------------------------------------------------
+
+    def memory_pressure(self) -> bool:
+        """True above the high watermark (eviction needed)."""
+        return self.kernel.physmem.usage_ratio() > self.HIGH_WATERMARK
+
+    def _eviction_candidates(self, objects: List[VMObject]):
+        """Clean pages first (free to evict), DONTNEED pages first of
+        all; dirty pages only under sustained pressure."""
+        clean_hinted, clean_plain, dirty = [], [], []
+        for obj in objects:
+            hints = self.hints.get(obj.kid, {})
+            for pindex, page in list(obj.pages.items()):
+                if page.clean_locator is not None:
+                    # Clean pages are evictable even in a frozen shadow
+                    # (the marker is only stamped once the extent is
+                    # durable).
+                    if hints.get(pindex) == MADV_DONTNEED:
+                        clean_hinted.append((obj, pindex, page))
+                    else:
+                        clean_plain.append((obj, pindex, page))
+                elif not obj.frozen:
+                    # Dirty pages of a frozen shadow are mid-flush and
+                    # about to become clean; leave them alone.
+                    dirty.append((obj, pindex, page))
+        return clean_hinted + clean_plain, dirty
+
+    def run_pageout(self, objects: List[VMObject], store=None) -> int:
+        """Evict pages until below the low watermark; returns count."""
+        physmem = self.kernel.physmem
+        if not self.memory_pressure():
+            return 0
+        target = int(physmem.total_frames * self.LOW_WATERMARK)
+        evicted = 0
+        clean, dirty = self._eviction_candidates(objects)
+        for obj, pindex, page in clean:
+            if physmem.used_frames <= target:
+                break
+            obj.remove_page(pindex)
+            self.evicted[(obj.kid, pindex)] = page.clean_locator
+            self.evictions_clean += 1
+            evicted += 1
+        if physmem.used_frames > target and store is not None:
+            # Sustained pressure: flush dirty pages through the store's
+            # unified data path, then evict them.
+            for obj, pindex, page in dirty:
+                if physmem.used_frames <= target:
+                    break
+                locator = store.stage_swap_page(obj, pindex, page)
+                obj.remove_page(pindex)
+                self.evicted[(obj.kid, pindex)] = locator
+                self.evictions_dirty += 1
+                evicted += 1
+        return evicted
+
+    def migrate_object(self, old_kid: int, new_kid: int) -> int:
+        """A collapse moved an object's pages into another object:
+        evicted-page records must follow, or their content would be
+        unreachable after the old object is destroyed."""
+        moved = 0
+        for (kid, pindex) in [key for key in self.evicted
+                              if key[0] == old_kid]:
+            locator = self.evicted.pop((kid, pindex))
+            self.evicted.setdefault((new_kid, pindex), locator)
+            moved += 1
+        return moved
+
+    # -- page-in --------------------------------------------------------------------
+
+    def is_evicted(self, vmobject: VMObject, pindex: int) -> bool:
+        """True when the page's content lives only in the store."""
+        return (vmobject.kid, pindex) in self.evicted
+
+    def page_in(self, vmobject: VMObject, pindex: int, store) -> None:
+        """Fault path: retrieve the most recent version from the store."""
+        key = (vmobject.kid, pindex)
+        locator = self.evicted.pop(key, None)
+        if locator is None:
+            raise InvalidArgument(f"page {key} was not evicted")
+        page = store.fetch_swapped_page(locator)
+        page.clean_locator = locator  # fresh copy is clean by definition
+        self.kernel.clock.advance(costs.LAZY_FAULT_PER_PAGE)
+        # Paging back into a frozen shadow is safe: the content is the
+        # exact durable copy the freeze protected.
+        was_frozen = vmobject.frozen
+        vmobject.frozen = False
+        try:
+            vmobject.insert_page(pindex, page)
+        finally:
+            vmobject.frozen = was_frozen
+        self.pageins += 1

@@ -1,0 +1,27 @@
+"""The Mach-derived virtual memory subsystem (paper §6, Figure 2).
+
+Address spaces (:class:`~repro.kernel.vm.vmspace.VMSpace`) hold a VM
+map — a list of :class:`~repro.kernel.vm.vmmap.VMMapEntry` address
+ranges — plus a software pmap (:class:`~repro.kernel.vm.pmap.Pmap`)
+standing in for the hardware page tables.  Each entry is backed by a
+:class:`~repro.kernel.vm.vmobject.VMObject`; objects shadow one
+another to implement copy-on-write, and Aurora's *system shadowing*
+(:mod:`repro.core.shadowing`) builds directly on the shadow/collapse
+operations implemented here.
+"""
+
+from .vmobject import VMObject
+from .vmmap import VMMapEntry, VMMap, PROT_READ, PROT_WRITE, PROT_EXEC
+from .vmspace import VMSpace
+from .pmap import Pmap
+
+__all__ = [
+    "VMObject",
+    "VMMapEntry",
+    "VMMap",
+    "VMSpace",
+    "Pmap",
+    "PROT_READ",
+    "PROT_WRITE",
+    "PROT_EXEC",
+]

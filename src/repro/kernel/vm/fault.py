@@ -1,0 +1,91 @@
+"""The page fault handler.
+
+Implements the Mach fault algorithm over shadow chains (§6 "The Mach VM
+System"): look in the entry's top object first, walk the backing chain
+on a miss, and on a write to a page found deeper in the chain (or to a
+lazy-COW entry created by ``fork``) copy the page into the top object.
+
+Faults are where system shadowing's runtime overhead comes from —
+after every checkpoint the application's dirty pages are read-only and
+the first write to each takes the COW path below — so the handler
+charges calibrated costs for every hop and copy it performs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core import costs
+from ...errors import SegmentationFault
+from ...hw.memory import Page
+from .vmmap import PROT_READ, PROT_WRITE, VMMapEntry
+
+
+def handle_fault(space, va_page: int, write: bool) -> Optional[Page]:
+    """Resolve a fault at ``va_page``; returns the resident page.
+
+    Returns ``None`` for a read of a never-written anonymous page (the
+    shared zero page in a real kernel).  Raises
+    :class:`~repro.errors.SegmentationFault` on unmapped or
+    protection-violating access.
+    """
+    kernel = space.kernel
+    entry = space.map.lookup(va_page)
+    if entry is None:
+        raise SegmentationFault(f"no mapping for page {va_page:#x}")
+    needed = PROT_WRITE if write else PROT_READ
+    if not entry.protection & needed:
+        raise SegmentationFault(
+            f"{'write' if write else 'read'} to page {va_page:#x} "
+            f"violates protection")
+
+    space.pmap.fault_count += 1
+    pindex = entry.pindex_of(va_page)
+
+    if write and entry.needs_copy:
+        # fork()-style lazy COW: give this map its own shadow before
+        # the first write lands.
+        shadow = entry.vmobject.shadow(name=f"cow:{entry.name}")
+        entry.set_object(shadow)
+        shadow.unref()  # entry holds the reference now
+        entry.needs_copy = False
+
+    vmobject = entry.vmobject
+    page, depth, owner = vmobject.lookup_page(pindex)
+    if page is None and kernel.sls is not None:
+        # Lazy restore / swap: the page may live only in the object
+        # store (§6 "Memory Overcommitment" + lazy restores).
+        for obj in vmobject.chain():
+            if kernel.pageout.is_evicted(obj, pindex):
+                kernel.pageout.page_in(obj, pindex, kernel.sls.store)
+                page, depth, owner = vmobject.lookup_page(pindex)
+                break
+    if depth > 0:
+        kernel.clock.advance(depth * costs.SHADOW_CHAIN_HOP)
+
+    if not write:
+        kernel.clock.advance(costs.SOFT_FAULT)
+        if page is None:
+            # Zero-fill read: map nothing, reads observe zeros.
+            space.pmap.enter(va_page, writable=False)
+            return None
+        writable = (depth == 0 and entry.writable()
+                    and not entry.needs_copy and not owner.frozen)
+        space.pmap.enter(va_page, writable=writable)
+        return page
+
+    # Write fault: the page must end up privately writable in the top
+    # object of this entry's chain.
+    if page is None:
+        kernel.clock.advance(costs.SOFT_FAULT)
+        page = Page(data=b"")
+        vmobject.insert_page(pindex, page)
+    elif depth > 0:
+        kernel.clock.advance(costs.COW_FAULT)
+        page = page.copy()
+        vmobject.insert_page(pindex, page)
+    else:
+        kernel.clock.advance(costs.SOFT_FAULT)
+    space.pmap.enter(va_page, writable=True)
+    space.pmap.mark_dirty(va_page)
+    return page

@@ -1,0 +1,98 @@
+"""Software pmap: the per-address-space stand-in for hardware page tables.
+
+FreeBSD's physical map caches VM-map state in hardware page tables; the
+tables are ephemeral and rebuilt from the VM map on demand (Figure 2).
+This software pmap keeps the two bits the reproduction needs per mapped
+page — *writable* and *dirty* — plus counters, so that:
+
+* write faults occur exactly when the hardware would take one (page
+  not mapped, or mapped read-only), and
+* system shadowing's cost of "marking pages copy-on-write in the x86
+  page tables" can be charged per PTE actually downgraded, which is
+  what makes Table 5's stop time linear in the dirty set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class PTE:
+    """One translation: writable + dirty bits."""
+    __slots__ = ("writable", "dirty")
+
+    def __init__(self, writable: bool):
+        self.writable = writable
+        self.dirty = False
+
+
+class Pmap:
+    """Per-address-space page table model keyed by virtual page number."""
+
+    def __init__(self):
+        self._ptes: Dict[int, PTE] = {}
+        self.fault_count = 0
+        self.wp_downgrades = 0
+
+    def enter(self, va_page: int, writable: bool) -> None:
+        """Install a translation (overwrites any existing one)."""
+        self._ptes[va_page] = PTE(writable)
+
+    def remove(self, va_page: int) -> None:
+        """Invalidate one translation."""
+        self._ptes.pop(va_page, None)
+
+    def remove_range(self, start_page: int, npages: int) -> None:
+        """Invalidate a contiguous range of translations."""
+        for va_page in range(start_page, start_page + npages):
+            self._ptes.pop(va_page, None)
+
+    def is_mapped(self, va_page: int) -> bool:
+        """True when a translation exists for the page."""
+        return va_page in self._ptes
+
+    def is_writable(self, va_page: int) -> bool:
+        """True when the page is mapped writable."""
+        pte = self._ptes.get(va_page)
+        return pte is not None and pte.writable
+
+    def mark_dirty(self, va_page: int) -> None:
+        """Set the dirty bit (a store hit the page)."""
+        self._ptes[va_page].dirty = True
+
+    def write_protect_range(self, start_page: int, npages: int) -> int:
+        """Downgrade writable PTEs in a range to read-only.
+
+        Returns the number of PTEs actually downgraded — the linear
+        cost driver of a system-shadowing pass.  Dirty bits are cleared
+        as the downgraded pages now belong to the frozen checkpoint.
+        """
+        downgraded = 0
+        if npages <= 0:
+            return 0
+        # Iterate whichever side is smaller: the range or the PTE set.
+        if npages <= len(self._ptes):
+            candidates: Iterable[int] = range(start_page, start_page + npages)
+        else:
+            candidates = [va for va in self._ptes
+                          if start_page <= va < start_page + npages]
+        for va_page in candidates:
+            pte = self._ptes.get(va_page)
+            if pte is not None and pte.writable:
+                pte.writable = False
+                pte.dirty = False
+                downgraded += 1
+        self.wp_downgrades += downgraded
+        return downgraded
+
+    def resident_pages(self) -> int:
+        """Number of installed translations."""
+        return len(self._ptes)
+
+    def dirty_pages(self) -> List[int]:
+        """Virtual pages whose dirty bit is set."""
+        return [va for va, pte in self._ptes.items() if pte.dirty]
+
+    def clear(self) -> None:
+        """Drop every translation (address space teardown)."""
+        self._ptes.clear()

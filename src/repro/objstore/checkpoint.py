@@ -1,0 +1,135 @@
+"""Checkpoint metadata structures.
+
+A checkpoint is a *delta*: the object records and page locators
+modified since its parent.  The merged (restorable) view of an
+application at checkpoint N is the newest-wins union of deltas along
+the parent chain — walked by :meth:`ObjectStore.merged_view` at
+restore time, exactly like reading a WAFL/ZFS snapshot through its
+block-sharing ancestry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CorruptRecord
+from ..hw.memory import Page
+
+
+class PageLocator:
+    """Where one page's checkpointed content lives.
+
+    Synthetic pages are ``("syn", seed)`` — their content is a pure
+    function of the seed; the bytes were still charged to the device.
+    Real pages are ``("ext", extent_offset, byte_offset, length)``
+    inside a packed data extent.
+    """
+
+    __slots__ = ("kind", "seed", "extent", "byte_off", "length")
+
+    def __init__(self, kind: str, seed: int = 0, extent: int = 0,
+                 byte_off: int = 0, length: int = 0):
+        self.kind = kind
+        self.seed = seed
+        self.extent = extent
+        self.byte_off = byte_off
+        self.length = length
+
+    @classmethod
+    def synthetic(cls, seed: int) -> "PageLocator":
+        """Locator for a synthetic page (content = f(seed))."""
+        return cls("syn", seed=seed)
+
+    @classmethod
+    def in_extent(cls, extent: int, byte_off: int, length: int) -> "PageLocator":
+        """Locator for real bytes inside a packed data extent."""
+        return cls("ext", extent=extent, byte_off=byte_off, length=length)
+
+    def encode(self) -> list:
+        """Wire form of the locator."""
+        if self.kind == "syn":
+            return ["syn", self.seed]
+        return ["ext", self.extent, self.byte_off, self.length]
+
+    @classmethod
+    def decode(cls, raw: list) -> "PageLocator":
+        """Parse a wire-form locator."""
+        if not raw:
+            raise CorruptRecord("empty page locator")
+        if raw[0] == "syn":
+            return cls.synthetic(raw[1])
+        if raw[0] == "ext":
+            return cls.in_extent(raw[1], raw[2], raw[3])
+        raise CorruptRecord(f"bad locator kind {raw[0]!r}")
+
+
+class CheckpointInfo:
+    """In-memory (and, encoded, on-disk) description of one checkpoint."""
+
+    def __init__(self, ckpt_id: int, group_id: int, name: str = "",
+                 parent: Optional[int] = None, time_ns: int = 0,
+                 partial: bool = False):
+        self.ckpt_id = ckpt_id
+        self.group_id = group_id
+        self.name = name
+        self.parent = parent
+        self.time_ns = time_ns
+        #: Partial checkpoints (sls_memckpt) hold one region and are
+        #: composed on top of a full checkpoint at restore (§7).
+        self.partial = partial
+        self.complete = False
+        #: oid -> extent offset of the serialized object record.
+        self.object_records: Dict[int, Tuple[int, int]] = {}
+        #: oid -> {pindex -> PageLocator} for pages dirtied here.
+        self.pages: Dict[int, Dict[int, PageLocator]] = {}
+        #: Every extent this checkpoint's delta owns: (offset, length).
+        self.owned_extents: List[Tuple[int, int]] = []
+        #: Byte count of page data this checkpoint wrote.
+        self.data_bytes = 0
+        #: Extent of this checkpoint's own metadata record.
+        self.meta_extent: Optional[Tuple[int, int]] = None
+
+    # -- on-disk encoding ---------------------------------------------------------
+
+    def encode_meta(self) -> dict:
+        """The checkpoint's on-disk metadata document."""
+        return {
+            "ckpt_id": self.ckpt_id,
+            "group_id": self.group_id,
+            "name": self.name,
+            "parent": self.parent,
+            "time_ns": self.time_ns,
+            "partial": self.partial,
+            "object_records": {str(oid): [off, length]
+                               for oid, (off, length)
+                               in self.object_records.items()},
+            "pages": {str(oid): {str(pindex): locator.encode()
+                                 for pindex, locator in page_map.items()}
+                      for oid, page_map in self.pages.items()},
+            "owned_extents": [[off, length]
+                              for off, length in self.owned_extents],
+            "data_bytes": self.data_bytes,
+        }
+
+    @classmethod
+    def decode_meta(cls, raw: dict) -> "CheckpointInfo":
+        """Rebuild checkpoint metadata from its document."""
+        info = cls(raw["ckpt_id"], raw["group_id"], raw["name"],
+                   raw["parent"], raw["time_ns"], raw["partial"])
+        info.object_records = {int(oid): (pair[0], pair[1])
+                               for oid, pair in raw["object_records"].items()}
+        info.pages = {
+            int(oid): {int(pindex): PageLocator.decode(loc)
+                       for pindex, loc in page_map.items()}
+            for oid, page_map in raw["pages"].items()
+        }
+        info.owned_extents = [(pair[0], pair[1])
+                              for pair in raw["owned_extents"]]
+        info.data_bytes = raw["data_bytes"]
+        return info
+
+    def __repr__(self) -> str:
+        flag = "partial " if self.partial else ""
+        done = "complete" if self.complete else "incomplete"
+        return (f"Checkpoint({flag}id={self.ckpt_id}, group={self.group_id}, "
+                f"{len(self.object_records)} objs, {done})")

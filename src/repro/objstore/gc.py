@@ -1,0 +1,91 @@
+"""Garbage collection: WAFL/ZFS-style snapshot deletion (§7).
+
+Deleting the oldest checkpoint of a group *transfers* the pieces of
+its delta that are still visible through younger checkpoints (pages
+and object records the children never overwrote), then frees whatever
+nothing references.  There is no log cleaner and no background
+compaction — reclamation cost is proportional to the deleted delta,
+never to store size, so it cannot stall the 100 Hz checkpoint loop.
+
+Extent liveness is tracked with an in-memory reference count per
+extent (rebuilt from checkpoint metadata at recovery), because one
+packed data extent may back pages adopted by different children after
+a restore forked the history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..errors import InvalidArgument, NoSuchCheckpoint
+from . import records
+from .checkpoint import CheckpointInfo
+
+
+def _children_of(store, ckpt_id: int) -> List[CheckpointInfo]:
+    return [info for info in store.checkpoints.values()
+            if info.parent == ckpt_id]
+
+
+def delete_checkpoint(store, ckpt_id: int) -> int:
+    """Delete one checkpoint; returns bytes reclaimed.
+
+    Only a chain head (a checkpoint whose parent is already deleted or
+    never existed) may be removed, mirroring how snapshot stores
+    reclaim history from the old end.
+    """
+    info = store.get_checkpoint(ckpt_id)
+    if info.parent is not None and info.parent in store.checkpoints:
+        raise InvalidArgument(
+            f"checkpoint {ckpt_id} still has ancestor {info.parent}; "
+            f"delete from the old end of the chain")
+    children = _children_of(store, ckpt_id)
+
+    refs: Dict[int, int] = store.extent_refs
+    # Transfer still-visible state into each child delta.
+    for child in children:
+        adopted: Set[int] = set()
+        for oid, page_map in info.pages.items():
+            child_map = child.pages.setdefault(oid, {})
+            for pindex, locator in page_map.items():
+                if pindex not in child_map:
+                    child_map[pindex] = locator
+                    if locator.kind == "ext":
+                        adopted.add(locator.extent)
+        for oid, extent in info.object_records.items():
+            if oid not in child.object_records:
+                child.object_records[oid] = extent
+                adopted.add(extent[0])
+        for offset, length in info.owned_extents:
+            if offset in adopted:
+                child.owned_extents.append((offset, length))
+                refs[offset] = refs.get(offset, 0) + 1
+        child.parent = info.parent
+
+    # Drop the deleted checkpoint's references; free what hit zero.
+    reclaimed = 0
+    for offset, length in info.owned_extents:
+        refs[offset] = refs.get(offset, 1) - 1
+        if refs[offset] <= 0:
+            refs.pop(offset, None)
+            store.alloc.free(offset, length)
+            store.device.discard_extent(offset)
+            reclaimed += length
+    if info.meta_extent is not None:
+        store.alloc.free(*info.meta_extent)
+        store.device.discard_extent(info.meta_extent[0])
+        reclaimed += info.meta_extent[1]
+    del store.checkpoints[ckpt_id]
+
+    # Children metadata changed (adopted state, new parent): rewrite
+    # their meta records COW-style, then flip the superblock.
+    for child in children:
+        payload = records.encode(records.REC_CKPT_META, child.encode_meta())
+        new_extent = store.alloc.alloc(len(payload))
+        store.device.write(new_extent, payload)
+        if child.meta_extent is not None:
+            store.alloc.free(*child.meta_extent)
+            store.device.discard_extent(child.meta_extent[0])
+        child.meta_extent = (new_extent, len(payload))
+    store._write_catalog_and_superblock()
+    return reclaimed

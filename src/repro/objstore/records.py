@@ -1,0 +1,52 @@
+"""On-disk record envelopes.
+
+Every object record and checkpoint metadata blob the store writes is a
+:mod:`repro.serde` document wrapped in a small typed envelope, so
+recovery can sanity-check what it reads before trusting it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from .. import serde
+from ..errors import CorruptRecord
+
+REC_SUPERBLOCK = "superblock"
+REC_CATALOG = "catalog"
+REC_CKPT_META = "ckpt-meta"
+REC_OBJECT = "object"
+REC_JOURNAL = "journal"
+REC_SWAP = "swap"
+
+_KINDS = (REC_SUPERBLOCK, REC_CATALOG, REC_CKPT_META, REC_OBJECT,
+          REC_JOURNAL, REC_SWAP)
+
+
+def encode(kind: str, body: Any) -> bytes:
+    """Wrap a body in a typed, checksummed envelope."""
+    if kind not in _KINDS:
+        raise CorruptRecord(f"unknown record kind {kind!r}")
+    return serde.dumps({"kind": kind, "body": body})
+
+
+def decode(data: bytes, expect: str) -> Any:
+    """Unwrap an envelope, checking the expected kind."""
+    document = serde.loads(data)
+    if not isinstance(document, dict) or "kind" not in document:
+        raise CorruptRecord("record missing envelope")
+    if document["kind"] != expect:
+        raise CorruptRecord(
+            f"expected {expect!r} record, found {document['kind']!r}")
+    return document["body"]
+
+
+def encode_object(oid: int, otype: str, state: Any) -> bytes:
+    """Envelope for one serialized kernel object."""
+    return encode(REC_OBJECT, {"oid": oid, "otype": otype, "state": state})
+
+
+def decode_object(data: bytes) -> Tuple[int, str, Any]:
+    """(oid, otype, state) from an object record."""
+    body = decode(data, REC_OBJECT)
+    return body["oid"], body["otype"], body["state"]

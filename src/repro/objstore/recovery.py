@@ -1,0 +1,101 @@
+"""Crash recovery: find the last complete state of the store.
+
+The commit protocol guarantees the superblock only ever points at
+fully durable state, so recovery is: read both superblock slots, pick
+the valid one with the highest generation, and rebuild the in-memory
+maps by reading the catalog and every checkpoint's metadata record.
+Incomplete checkpoints are invisible by construction (their metadata
+was never reachable), satisfying §7: "Aurora prevents resuming
+incomplete checkpoints by finding the last complete checkpoint after
+a crash."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CorruptRecord, StoreError
+from . import records
+from .blockalloc import ExtentAllocator
+from .checkpoint import CheckpointInfo
+from .journal import Journal
+from .oid import OIDAllocator
+from .store_state import RecoveredState  # re-exported dataclass
+
+
+def _read_superblock(store, slot: int) -> Optional[dict]:
+    if not store.device.has_extent(slot):
+        return None
+    try:
+        payload = store.device.read(slot)
+        if not isinstance(payload, bytes):
+            return None
+        return records.decode(payload, records.REC_SUPERBLOCK)
+    except (CorruptRecord, StoreError):
+        return None
+
+
+def recover(store) -> Optional[RecoveredState]:
+    """Rebuild ``store``'s in-memory state from the device.
+
+    Returns None when no valid superblock exists (blank array).
+    Tries superblock generations newest-first: if the newest
+    generation's metadata turns out corrupt (a torn catalog or
+    checkpoint record), recovery falls back to the previous
+    generation rather than failing the mount.
+    """
+    from .store import SUPERBLOCK_SLOTS
+
+    candidates = []
+    for slot in SUPERBLOCK_SLOTS:
+        superblock = _read_superblock(store, slot)
+        if superblock is not None:
+            candidates.append(superblock)
+    if not candidates:
+        return None
+    candidates.sort(key=lambda sb: sb["generation"], reverse=True)
+    last_error: Optional[Exception] = None
+    for superblock in candidates:
+        try:
+            return _rebuild(store, superblock)
+        except (CorruptRecord, StoreError) as exc:
+            last_error = exc
+    raise StoreError(f"no recoverable superblock generation: {last_error}")
+
+
+def _rebuild(store, superblock: dict) -> RecoveredState:
+    store._generation = superblock["generation"]
+    store.alloc = ExtentAllocator(store.device.capacity,
+                                  cursor=superblock["alloc_cursor"])
+    store.alloc._free = [(pair[0], pair[1])
+                         for pair in superblock["free_list"]]
+    store.oids = OIDAllocator(next_serial=superblock["oid_cursor"])
+    store._ckpt_counter = superblock["ckpt_counter"]
+    store._catalog_extent = tuple(superblock["catalog_extent"])
+
+    catalog = records.decode(store.device.read(store._catalog_extent[0]),
+                             records.REC_CATALOG)
+    store.checkpoints = {}
+    store.extent_refs = {}
+    for _ckpt_id, entry in catalog["checkpoints"].items():
+        meta_extent = tuple(entry["meta_extent"])
+        meta = records.decode(store.device.read(meta_extent[0]),
+                              records.REC_CKPT_META)
+        info = CheckpointInfo.decode_meta(meta)
+        info.meta_extent = meta_extent
+        info.complete = True
+        store.checkpoints[info.ckpt_id] = info
+        for offset, _length in info.owned_extents:
+            store.extent_refs[offset] = store.extent_refs.get(offset, 0) + 1
+
+    store.journals = {}
+    for _jid, meta in superblock["journal_dir"].items():
+        journal = Journal.decode_meta(store, meta)
+        journal.replay()  # fixes epoch/head from the header slot
+        store.journals[journal.jid] = journal
+
+    return RecoveredState(
+        generation=store._generation,
+        checkpoint_count=len(store.checkpoints),
+        journal_count=len(store.journals),
+    )

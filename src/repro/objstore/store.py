@@ -1,0 +1,458 @@
+"""The object store proper.
+
+Commit protocol (all COW — nothing live is ever overwritten):
+
+1. Page data and object records are staged into freshly allocated
+   extents and submitted to the device queue (asynchronously for
+   continuous checkpoints, so the application runs while IO drains).
+2. When every data write has completed, the checkpoint's metadata
+   record, a new catalog record and finally the superblock (two slots,
+   alternating by generation) are written.  Only the superblock flip
+   makes the checkpoint visible, so a crash at any instant leaves the
+   store at the *previous* complete checkpoint — the recovery property
+   the crash tests hammer on.
+
+Incremental state: each checkpoint stores a delta; the restorable view
+is the newest-wins merge along the parent chain
+(:meth:`ObjectStore.merged_view`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core import costs
+from ..errors import (CorruptRecord, InvalidArgument, NoSuchCheckpoint,
+                      NoSuchObject, StoreError)
+from ..hw.memory import Page
+from ..hw.nvme import StripedArray, synthetic_payload
+from ..units import PAGE_SIZE, STRIPE_SIZE
+from . import records
+from .blockalloc import ExtentAllocator
+from .checkpoint import CheckpointInfo, PageLocator
+from .journal import Journal
+from .oid import CLASS_JOURNAL, OIDAllocator
+from . import recovery as recovery_mod
+from . import gc as gc_mod
+
+#: Superblock slots live in the first two stripe units.
+SUPERBLOCK_SLOTS = (0, STRIPE_SIZE)
+
+
+class CheckpointTxn:
+    """Staging area for one in-progress checkpoint."""
+
+    def __init__(self, store: "ObjectStore", info: CheckpointInfo):
+        self.store = store
+        self.info = info
+        self.staged_records: List[Tuple[int, bytes]] = []
+        self.staged_pages: Dict[int, Dict[int, Page]] = {}
+        self.committed = False
+
+    def put_object(self, oid: int, otype: str, state: Any) -> None:
+        """Stage one serialized object record."""
+        self.store.clock.advance(costs.STORE_RECORD_STAGE)
+        self.staged_records.append(
+            (oid, records.encode_object(oid, otype, state)))
+
+    def put_pages(self, oid: int, pages: Dict[int, Page]) -> None:
+        """Stage dirty pages for a memory/file object."""
+        if not pages:
+            return
+        self.staged_pages.setdefault(oid, {}).update(pages)
+
+    def staged_bytes(self) -> int:
+        """Bytes this transaction will write (records + pages)."""
+        total = sum(len(data) for _oid, data in self.staged_records)
+        total += sum(len(pages) * PAGE_SIZE
+                     for pages in self.staged_pages.values())
+        return total
+
+
+class ObjectStore:
+    """One formatted store on a machine's NVMe array."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.device: StripedArray = machine.storage
+        self.clock = machine.clock
+        self.loop = machine.loop
+        self.alloc = ExtentAllocator(self.device.capacity)
+        self.oids = OIDAllocator()
+        self.checkpoints: Dict[int, CheckpointInfo] = {}
+        self.journals: Dict[int, Journal] = {}
+        #: Extent offset -> number of checkpoint deltas referencing it.
+        self.extent_refs: Dict[int, int] = {}
+        self._ckpt_counter = 1
+        self._generation = 0
+        self._catalog_extent: Optional[Tuple[int, int]] = None
+        self._mounted = False
+        #: Pending async commits: ckpt_id -> callbacks.
+        self._commit_watchers: Dict[int, List[Callable[[CheckpointInfo], None]]] = {}
+        self.stats = {"commits": 0, "bytes_flushed": 0, "recoveries": 0}
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def format(self) -> None:
+        """Initialize an empty store (destroys existing content)."""
+        self.alloc = ExtentAllocator(self.device.capacity)
+        self.oids = OIDAllocator()
+        self.checkpoints = {}
+        self.journals = {}
+        self.extent_refs = {}
+        self._ckpt_counter = 1
+        self._generation = 0
+        self._catalog_extent = None
+        self._write_catalog_and_superblock()
+        self._mounted = True
+
+    def mount(self) -> bool:
+        """Recover the store from the device.
+
+        Returns True when an existing store was found (and its last
+        complete checkpoints recovered); False when the array is blank
+        and :meth:`format` is required.
+        """
+        state = recovery_mod.recover(self)
+        if state is None:
+            return False
+        self._mounted = True
+        self.stats["recoveries"] += 1
+        return True
+
+    def _require_mounted(self) -> None:
+        if not self._mounted:
+            raise StoreError("store is not mounted (format() or mount())")
+
+    # -- OIDs --------------------------------------------------------------------------
+
+    def alloc_oid(self, obj_class: int) -> int:
+        """Allocate a 64-bit on-disk object id of the given class."""
+        self._require_mounted()
+        return self.oids.allocate(obj_class)
+
+    # -- checkpoint creation ----------------------------------------------------------------
+
+    def begin_checkpoint(self, group_id: int, name: str = "",
+                         parent: Optional[int] = None,
+                         partial: bool = False) -> CheckpointTxn:
+        """Open a checkpoint transaction (delta against ``parent``)."""
+        self._require_mounted()
+        info = CheckpointInfo(self._ckpt_counter, group_id, name=name,
+                              parent=parent, time_ns=self.clock.now(),
+                              partial=partial)
+        self._ckpt_counter += 1
+        return CheckpointTxn(self, info)
+
+    def _pack_pages(self, txn: CheckpointTxn) -> int:
+        """Write staged pages into stripe-sized extents.
+
+        Returns the latest completion time among the submitted writes.
+        Real-byte pages are packed (realized) into extent payloads;
+        synthetic pages are charged as synthetic extents of equal size
+        with their seeds carried in the checkpoint metadata.
+        """
+        info = txn.info
+        last_done = self.clock.now()
+        for oid, pages in txn.staged_pages.items():
+            page_map = info.pages.setdefault(oid, {})
+            real_batch: List[Tuple[int, Page]] = []
+            syn_count = 0
+
+            def flush_real(batch: List[Tuple[int, Page]]) -> None:
+                nonlocal last_done
+                if not batch:
+                    return
+                payload = b"".join(page.realize() for _p, page in batch)
+                extent = self.alloc.alloc(len(payload))
+                self.clock.advance(costs.STORE_ALLOC_EXTENT)
+                done = self.device.submit_write(extent, payload)
+                last_done = max(last_done, done)
+                info.owned_extents.append((extent, len(payload)))
+                info.data_bytes += len(payload)
+                for index, (pindex, _page) in enumerate(batch):
+                    page_map[pindex] = PageLocator.in_extent(
+                        extent, index * PAGE_SIZE, PAGE_SIZE)
+
+            for pindex in sorted(pages):
+                page = pages[pindex]
+                if page.synthetic:
+                    page_map[pindex] = PageLocator.synthetic(page.seed)
+                    syn_count += 1
+                else:
+                    real_batch.append((pindex, page))
+                    if len(real_batch) * PAGE_SIZE >= STRIPE_SIZE:
+                        flush_real(real_batch)
+                        real_batch = []
+            flush_real(real_batch)
+
+            # Synthetic pages: identical IO accounting, virtual bytes.
+            remaining = syn_count * PAGE_SIZE
+            while remaining > 0:
+                chunk = min(remaining, STRIPE_SIZE)
+                extent = self.alloc.alloc(chunk)
+                self.clock.advance(costs.STORE_ALLOC_EXTENT)
+                done = self.device.submit_write(
+                    extent, synthetic_payload(seed=oid, length=chunk))
+                last_done = max(last_done, done)
+                info.owned_extents.append((extent, chunk))
+                info.data_bytes += chunk
+                remaining -= chunk
+        return last_done
+
+    def _write_records(self, txn: CheckpointTxn) -> int:
+        """Write staged object records; returns latest completion time."""
+        info = txn.info
+        last_done = self.clock.now()
+        for oid, payload in txn.staged_records:
+            extent = self.alloc.alloc(len(payload))
+            self.clock.advance(costs.STORE_ALLOC_EXTENT)
+            done = self.device.submit_write(extent, payload)
+            last_done = max(last_done, done)
+            info.object_records[oid] = (extent, len(payload))
+            info.owned_extents.append((extent, len(payload)))
+        return last_done
+
+    def _finalize_commit(self, txn: CheckpointTxn) -> None:
+        """Data is durable: write meta + catalog, flip the superblock."""
+        info = txn.info
+        # The flushed pages' content is now durable: stamp them clean
+        # so the pageout daemon can evict them without IO (§6).  A
+        # write in the meantime replaced the Page object, leaving the
+        # new content correctly dirty.
+        for oid, page_map in info.pages.items():
+            staged = txn.staged_pages.get(oid, {})
+            for pindex, locator in page_map.items():
+                page = staged.get(pindex)
+                if page is not None:
+                    page.clean_locator = locator
+        payload = records.encode(records.REC_CKPT_META, info.encode_meta())
+        meta_extent = self.alloc.alloc(len(payload))
+        self.device.write(meta_extent, payload)
+        info.meta_extent = (meta_extent, len(payload))
+        info.complete = True
+        self.checkpoints[info.ckpt_id] = info
+        for offset, _length in info.owned_extents:
+            self.extent_refs[offset] = self.extent_refs.get(offset, 0) + 1
+        self._write_catalog_and_superblock()
+        self.stats["commits"] += 1
+        self.stats["bytes_flushed"] += info.data_bytes
+        for callback in self._commit_watchers.pop(info.ckpt_id, []):
+            callback(info)
+
+    def commit(self, txn: CheckpointTxn, sync: bool = False,
+               on_complete: Optional[Callable[[CheckpointInfo], None]] = None
+               ) -> CheckpointInfo:
+        """Commit a checkpoint transaction.
+
+        ``sync=False`` (the continuous-checkpoint path) returns as soon
+        as the writes are queued; the commit finalizes via the event
+        loop when the data lands, and ``on_complete`` fires then.
+        ``sync=True`` advances the clock to durability before
+        returning (sls_checkpoint + sls_barrier semantics).
+        """
+        self._require_mounted()
+        if txn.committed:
+            raise InvalidArgument("transaction already committed")
+        txn.committed = True
+        done_pages = self._pack_pages(txn)
+        done_records = self._write_records(txn)
+        data_done = max(done_pages, done_records)
+        if on_complete is not None:
+            self._commit_watchers.setdefault(txn.info.ckpt_id,
+                                             []).append(on_complete)
+        if sync:
+            self.clock.advance_to(data_done)
+            self.device.poll()
+            self._finalize_commit(txn)
+        else:
+            self.loop.call_at(data_done,
+                              lambda: self._finalize_commit(txn))
+        return txn.info
+
+    # -- catalog / superblock ------------------------------------------------------------
+
+    def _write_catalog_and_superblock(self) -> None:
+        catalog_body = {
+            "checkpoints": {
+                str(ckpt_id): {
+                    "meta_extent": list(getattr(info, "meta_extent",
+                                                (0, 0))),
+                }
+                for ckpt_id, info in self.checkpoints.items()
+                if info.complete
+            },
+        }
+        payload = records.encode(records.REC_CATALOG, catalog_body)
+        old_catalog = self._catalog_extent
+        extent = self.alloc.alloc(len(payload))
+        self.device.write(extent, payload)
+        self._catalog_extent = (extent, len(payload))
+
+        self._generation += 1
+        superblock = records.encode(records.REC_SUPERBLOCK, {
+            "generation": self._generation,
+            "catalog_extent": list(self._catalog_extent),
+            "alloc_cursor": self.alloc.cursor,
+            "free_list": [[off, length] for off, length in self.alloc._free],
+            "oid_cursor": self.oids.cursor,
+            "ckpt_counter": self._ckpt_counter,
+            "journal_dir": {str(jid): journal.encode_meta()
+                            for jid, journal in self.journals.items()},
+        })
+        slot = SUPERBLOCK_SLOTS[self._generation % 2]
+        self.clock.advance(costs.STORE_COMMIT)
+        self.device.write(slot, superblock)
+        if old_catalog is not None:
+            self.alloc.free(*old_catalog)
+
+    # -- reading back -----------------------------------------------------------------------
+
+    def get_checkpoint(self, ckpt_id: int) -> CheckpointInfo:
+        """Checkpoint metadata by id (NoSuchCheckpoint otherwise)."""
+        try:
+            return self.checkpoints[ckpt_id]
+        except KeyError:
+            raise NoSuchCheckpoint(f"checkpoint {ckpt_id}")
+
+    def checkpoints_for(self, group_id: int,
+                        include_partial: bool = False) -> List[CheckpointInfo]:
+        """A group's complete checkpoints, oldest first."""
+        return [info for info in sorted(self.checkpoints.values(),
+                                        key=lambda i: i.ckpt_id)
+                if info.group_id == group_id and info.complete
+                and (include_partial or not info.partial)]
+
+    def find_latest_complete(self, group_id: int) -> Optional[CheckpointInfo]:
+        """The group's newest complete full checkpoint, if any."""
+        chain = self.checkpoints_for(group_id)
+        return chain[-1] if chain else None
+
+    def parent_chain(self, ckpt_id: int) -> List[CheckpointInfo]:
+        """The checkpoint and its ancestors, newest first."""
+        chain = []
+        current: Optional[int] = ckpt_id
+        while current is not None:
+            info = self.get_checkpoint(current)
+            chain.append(info)
+            current = info.parent
+        return chain
+
+    def merged_view(self, ckpt_id: int) -> Tuple[Dict[int, Tuple[int, int]],
+                                                 Dict[int, Dict[int, PageLocator]]]:
+        """Newest-wins union of deltas along the parent chain.
+
+        Returns ``(object_record_extents, page_locators)`` describing
+        the full application state at ``ckpt_id``.
+        """
+        merged_records: Dict[int, Tuple[int, int]] = {}
+        merged_pages: Dict[int, Dict[int, PageLocator]] = {}
+        for info in self.parent_chain(ckpt_id):
+            for oid, extent in info.object_records.items():
+                merged_records.setdefault(oid, extent)
+            for oid, page_map in info.pages.items():
+                target = merged_pages.setdefault(oid, {})
+                for pindex, locator in page_map.items():
+                    target.setdefault(pindex, locator)
+        return merged_records, merged_pages
+
+    def read_object_record(self, extent: Tuple[int, int]) -> Tuple[int, str, Any]:
+        """Read + decode one object record extent."""
+        payload = self.device.read(extent[0])
+        if not isinstance(payload, bytes):
+            raise CorruptRecord("object record extent holds synthetic data")
+        return records.decode_object(payload)
+
+    def read_object_records(self, extents: Dict[int, Tuple[int, int]]
+                            ) -> Dict[int, Tuple[str, Any]]:
+        """Batched record reads: all dispatched at once, one wait.
+
+        Restores issue every record read in parallel (queue depth ≫ 1)
+        so the per-command latency overlaps instead of serializing.
+        """
+        decoded: Dict[int, Tuple[str, Any]] = {}
+        last_done = self.clock.now()
+        for oid, extent in extents.items():
+            payload, done = self.device.read_async(extent[0])
+            last_done = max(last_done, done)
+            if not isinstance(payload, bytes):
+                raise CorruptRecord("record extent holds synthetic data")
+            r_oid, otype, state = records.decode_object(payload)
+            if r_oid != oid:
+                raise CorruptRecord(f"record OID mismatch for {oid}")
+            decoded[oid] = (otype, state)
+        self.clock.advance_to(last_done)
+        return decoded
+
+    def fetch_page(self, locator: PageLocator) -> Page:
+        """Materialize a page from its locator (reads the device)."""
+        if locator.kind == "syn":
+            return Page(seed=locator.seed)
+        payload = self.device.read(locator.extent)
+        if not isinstance(payload, bytes):
+            raise CorruptRecord("page extent holds synthetic data")
+        data = payload[locator.byte_off:locator.byte_off + locator.length]
+        return Page(data=data)
+
+    # -- garbage collection ---------------------------------------------------------------------
+
+    def delete_checkpoint(self, ckpt_id: int) -> int:
+        """WAFL-style snapshot deletion; returns bytes reclaimed."""
+        self._require_mounted()
+        return gc_mod.delete_checkpoint(self, ckpt_id)
+
+    def retain_last(self, group_id: int, keep: int) -> int:
+        """Trim a group's history to its ``keep`` newest checkpoints."""
+        reclaimed = 0
+        chain = self.checkpoints_for(group_id, include_partial=True)
+        while len(chain) > keep:
+            reclaimed += self.delete_checkpoint(chain[0].ckpt_id)
+            chain = self.checkpoints_for(group_id, include_partial=True)
+        return reclaimed
+
+    # -- journals -------------------------------------------------------------------------------------
+
+    def journal_create(self, capacity: int) -> Journal:
+        """Preallocate a non-COW journal region (sync, small)."""
+        self._require_mounted()
+        jid = self.alloc_oid(CLASS_JOURNAL)
+        base = self.alloc.alloc(capacity)
+        journal = Journal(self, jid, base, capacity)
+        self.journals[jid] = journal
+        journal._write_header()
+        # Journal existence must survive a crash: flip the superblock.
+        self._write_catalog_and_superblock()
+        return journal
+
+    def journal(self, jid: int) -> Journal:
+        """An existing journal by id (NoSuchObject otherwise)."""
+        try:
+            return self.journals[jid]
+        except KeyError:
+            raise NoSuchObject(f"journal {jid}")
+
+    # -- swap integration ----------------------------------------------------------------------------------
+
+    def stage_swap_page(self, vmobject, pindex: int, page: Page):
+        """Flush a dirty page on the unified checkpoint/swap data path."""
+        if page.synthetic:
+            extent = self.alloc.alloc(PAGE_SIZE)
+            self.device.submit_write(
+                extent, synthetic_payload(page.seed, PAGE_SIZE))
+            return PageLocator.synthetic(page.seed)
+        payload = page.realize()
+        extent = self.alloc.alloc(len(payload))
+        done = self.device.submit_write(extent, payload)
+        self.clock.advance_to(done)
+        self.device.poll()
+        return PageLocator.in_extent(extent, 0, len(payload))
+
+    def fetch_swapped_page(self, locator: PageLocator) -> Page:
+        """Read an evicted page back from the store."""
+        return self.fetch_page(locator)
+
+    # -- stats ------------------------------------------------------------------------------------------------
+
+    def used_bytes(self) -> int:
+        """Live bytes allocated on the array."""
+        return self.alloc.used_bytes()

@@ -1,0 +1,14 @@
+"""Small shared value types for the store/recovery modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RecoveredState:
+    """Summary of what :func:`repro.objstore.recovery.recover` found."""
+
+    generation: int
+    checkpoint_count: int
+    journal_count: int

@@ -1,0 +1,11 @@
+"""File systems: the Aurora FS plus the ZFS/FFS baseline engines used
+by the FileBench comparison (Figure 3)."""
+
+from .slsfs import SLSFS
+from .baseline_zfs import ZFSModel
+from .baseline_ffs import FFSModel
+from .aurora_bench import AuroraFSModel
+from .kernel_fs import FFSKernelFilesystem, mount_ffs
+
+__all__ = ["SLSFS", "ZFSModel", "FFSModel", "AuroraFSModel",
+           "FFSKernelFilesystem", "mount_ffs"]

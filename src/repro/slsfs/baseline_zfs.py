@@ -1,0 +1,48 @@
+"""ZFS baseline engine for the FileBench comparison (Figure 3).
+
+Models what makes ZFS's profile in the paper:
+
+* every write COWs through the indirect-block tree (dnode → indirect
+  → data), a per-write metadata cost that hits small writes hardest —
+  "ZFS is slower than Aurora in both configurations because Aurora's
+  simpler metadata updates are designed to reduce the latency of
+  periodic checkpoints" (§9.1);
+* optional checksumming (fletcher/sha) adds a per-block CPU cost —
+  the ZFS+CSUM bars;
+* ``fsync`` commits through the ZFS intent log (ZIL): faster than a
+  full transaction-group commit but "slower than FFS and Aurora
+  because its COW mechanism generates complex changes to file system
+  state" (§9.1).
+"""
+
+from __future__ import annotations
+
+from ..core import costs
+from .fsbase import BenchFile, BenchFilesystem, FS_BLOCK
+
+
+class ZFSModel(BenchFilesystem):
+    """ZFS-like engine; ``checksums`` selects the +CSUM variant."""
+
+    def __init__(self, machine, checksums: bool = False):
+        super().__init__(machine)
+        self.checksums = checksums
+        self.name = "zfs+csum" if checksums else "zfs"
+
+    def _create_cost(self) -> int:
+        # dnode allocation + directory ZAP update.
+        return costs.ZFS_CREATE
+
+    def _write_cost(self, nblocks: int, nbytes: int) -> int:
+        # COW indirect-tree update per write, plus per-block checksums.
+        cost = costs.ZFS_COW_TREE_UPDATE
+        if self.checksums:
+            cost += nblocks * costs.ZFS_CHECKSUM_PER_64K
+        return cost
+
+    def _fsync(self, file: BenchFile) -> None:
+        # ZIL record: a synchronous log write (queue-depth-1 latency)
+        # plus the cost of assembling the intent-log entry.
+        self.clock.advance(costs.ZFS_ZIL_COMMIT)
+        self.device.write(self._alloc_blocks(FS_BLOCK), b"zil-record",
+                          sync=True)

@@ -1,0 +1,62 @@
+"""A mountable FFS-like filesystem for baseline (non-Aurora) machines.
+
+The unmodified RocksDB, Redis and CRIU experiments run on a machine
+with a conventional filesystem whose ``fsync`` actually costs
+something.  This class plugs the FFS cost profile into the kernel's
+VFS hook points so baseline applications pay realistic metadata and
+sync costs, while file *data* still lives in vnode VM objects (and is
+volatile across crashes, as on a real machine whose dirty page cache
+dies with the power)."""
+
+from __future__ import annotations
+
+from ..core import costs
+from ..kernel.fs.filesystem import Filesystem
+from ..kernel.fs.vnode import Vnode
+from ..units import PAGE_SIZE
+
+
+class FFSKernelFilesystem(Filesystem):
+    """Kernel-mounted FFS model (SU+J): real fsync costs."""
+
+    fs_type = "ffs"
+
+    def __init__(self, kernel, machine):
+        super().__init__(kernel, "ffs")
+        self.machine = machine
+        self._sync_cursor = 128 * 1024 * 1024  # scratch area for syncs
+
+    def on_create(self, vnode: Vnode) -> None:
+        """FFS create: inode allocation + SU+J journal record."""
+        self.kernel.clock.advance(costs.FFS_CREATE + costs.FFS_SUJ_RECORD)
+
+    def on_data_write(self, vnode: Vnode, offset: int, nbytes: int) -> None:
+        """FFS write costs: fragment path for sub-block writes."""
+        if nbytes < 64 * 1024:
+            self.kernel.clock.advance(costs.FFS_FRAG_WRITE)
+        else:
+            nblocks = (nbytes + 64 * 1024 - 1) // (64 * 1024)
+            self.kernel.clock.advance(nblocks * costs.FFS_BLOCK_UPDATE)
+
+    def on_fsync(self, vnode: Vnode) -> None:
+        """Synchronously push the inode + dirty data to the device."""
+        self.kernel.clock.advance(costs.FFS_FSYNC)
+        dirty_bytes = max(vnode.size, PAGE_SIZE)
+        # Queue-depth-1 write of the dirty tail (modeled as one page
+        # plus inode block for the common small-append case).
+        self.machine.storage.write(self._sync_cursor,
+                                   b"\x00" * min(dirty_bytes, PAGE_SIZE),
+                                   sync=True)
+        self._sync_cursor += 64 * 1024
+        if self._sync_cursor > 4 * 1024 * 1024 * 1024:
+            self._sync_cursor = 128 * 1024 * 1024
+
+
+def mount_ffs(machine) -> FFSKernelFilesystem:
+    """Replace a machine's root filesystem with the FFS model."""
+    from ..kernel.fs.vfs import VFS
+
+    kernel = machine.kernel
+    fs = FFSKernelFilesystem(kernel, machine)
+    kernel.vfs = VFS(kernel, fs)
+    return fs

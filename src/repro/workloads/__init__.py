@@ -1,0 +1,9 @@
+"""Workload generators driving the evaluation applications:
+FileBench personalities (Fig. 3), a Mutilate-style Memcached load
+generator (Figs. 4–5), and the Prefix_dist RocksDB mix (Fig. 6)."""
+
+from .filebench import FileBench
+from .mutilate import Mutilate
+from .prefix_dist import PrefixDistWorkload
+
+__all__ = ["FileBench", "Mutilate", "PrefixDistWorkload"]

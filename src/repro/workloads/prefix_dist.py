@@ -1,0 +1,65 @@
+"""The Prefix_dist workload (Fig. 6).
+
+Models the Facebook "prefix_dist" trace characterization (Cao et al.,
+FAST '20) the paper uses: keys grouped under hot prefixes with a
+power-law popularity, small values, and a GET-heavy mix with a
+substantial PUT stream.  Deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+OP_GET = "get"
+OP_PUT = "put"
+
+
+class PrefixDistWorkload:
+    """Generator of (op, key, value) triples."""
+
+    def __init__(self, seed: int = 42, nprefixes: int = 32,
+                 keys_per_prefix: int = 4096, value_size: int = 256,
+                 get_ratio: float = 0.5):
+        self.rng = random.Random(seed)
+        self.nprefixes = nprefixes
+        self.keys_per_prefix = keys_per_prefix
+        self.value_size = value_size
+        self.get_ratio = get_ratio
+        # Power-law popularity over prefixes (hotter at the front).
+        weights = [1.0 / (rank + 1) ** 1.2 for rank in range(nprefixes)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+
+    def _pick_prefix(self) -> int:
+        point = self.rng.random()
+        for index, bound in enumerate(self._cumulative):
+            if point <= bound:
+                return index
+        return self.nprefixes - 1
+
+    def next_key(self) -> bytes:
+        """Draw a key: power-law prefix + uniform serial."""
+        prefix = self._pick_prefix()
+        serial = self.rng.randrange(self.keys_per_prefix)
+        return f"p{prefix:04d}:k{serial:08d}".encode()
+
+    def next_value(self) -> bytes:
+        # Values are synthetic but content-bearing (the first bytes
+        # identify the writer for read-back verification).
+        """Draw a value of the configured size (tagged for readback)."""
+        header = f"v{self.rng.randrange(1 << 30):08x}".encode()
+        return header.ljust(self.value_size, b".")
+
+    def ops(self, count: int) -> Iterator[Tuple[str, bytes, bytes]]:
+        """Yield ``count`` (op, key, value) triples from the mix."""
+        for _ in range(count):
+            key = self.next_key()
+            if self.rng.random() < self.get_ratio:
+                yield OP_GET, key, b""
+            else:
+                yield OP_PUT, key, self.next_value()

@@ -1,0 +1,25 @@
+"""Shared fixtures: machines with and without Aurora loaded."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, load_aurora
+
+
+@pytest.fixture
+def machine():
+    """A plain simulated machine (no single level store loaded)."""
+    return Machine()
+
+
+@pytest.fixture
+def kernel(machine):
+    return machine.kernel
+
+
+@pytest.fixture
+def aurora(machine):
+    """(machine, sls) with Aurora loaded and the store formatted."""
+    sls = load_aurora(machine)
+    return machine, sls

@@ -1,0 +1,186 @@
+"""Redis and Memcached application models."""
+
+import pytest
+
+from repro import Machine, load_aurora
+from repro.apps.memcached import MemcachedServer
+from repro.apps.redis import RedisServer
+from repro.baselines.criu import CRIUCheckpointer
+from repro.errors import NoSuchFile
+from repro.units import MiB, MSEC, SEC, USEC, pages_of
+
+
+# -- Redis -------------------------------------------------------------------------
+
+
+def test_redis_set_get():
+    machine = Machine()
+    server = RedisServer(machine.kernel)
+    server.set("user:1", b"alice")
+    server.set("user:2", b"bob")
+    assert server.get("user:1") == b"alice"
+    assert server.get("user:2") == b"bob"
+    with pytest.raises(NoSuchFile):
+        server.get("user:3")
+
+
+def test_redis_synthetic_population():
+    machine = Machine()
+    server = RedisServer(machine.kernel, heap_bytes=600 * MiB)
+    keys = server.populate_synthetic(500 * MiB, value_size=4096)
+    assert keys == (500 * MiB) // 4096
+    assert server.resident_pages() >= pages_of(500 * MiB)
+
+
+def test_redis_bgsave_fork_cost_scales_with_resident_set():
+    def fork_time(size_mib):
+        machine = Machine()
+        server = RedisServer(machine.kernel, heap_bytes=600 * MiB)
+        server.populate_synthetic(size_mib * MiB)
+        return server.bgsave().fork_stop_ns
+
+    small = fork_time(50)
+    large = fork_time(500)
+    assert 5 * small < large < 20 * small
+
+
+def test_redis_bgsave_500mib_matches_table7():
+    """Table 7: RDB stop ~8 ms, IO ~300 ms for 500 MiB."""
+    machine = Machine()
+    server = RedisServer(machine.kernel, heap_bytes=600 * MiB)
+    server.populate_synthetic(500 * MiB)
+    report = server.bgsave()
+    assert 4 * MSEC <= report.fork_stop_ns <= 16 * MSEC
+    assert 200 * MSEC <= report.io_write_ns <= 450 * MSEC
+
+
+def test_redis_save_blocks_for_full_duration():
+    machine = Machine()
+    server = RedisServer(machine.kernel)
+    server.populate_synthetic(10 * MiB)
+    t0 = machine.kernel.clock.now()
+    report = server.save()
+    assert machine.kernel.clock.now() - t0 == report.total_ns
+
+
+def test_redis_under_aurora_restores_data():
+    machine = Machine()
+    sls = load_aurora(machine)
+    server = RedisServer(machine.kernel)
+    group = sls.attach(server.proc, periodic=False)
+    server.set("key", b"value-before-crash")
+    sls.checkpoint(group, sync=True)
+    layout = dict(server._layout)
+    gid = group.group_id
+    machine.crash()
+    machine.boot()
+    sls2 = load_aurora(machine)
+    result = sls2.restore(gid)
+    offset, length = layout["key"]
+    heap = server.heap
+    assert result.root.vmspace.read(heap + offset, length) \
+        == b"value-before-crash"
+
+
+# -- Memcached -------------------------------------------------------------------------
+
+
+def test_memcached_set_get():
+    machine = Machine()
+    server = MemcachedServer(machine.kernel)
+    server.set("k", b"v")
+    assert server.get("k") == b"v"
+    with pytest.raises(NoSuchFile):
+        server.get("missing")
+
+
+def test_memcached_baseline_throughput_near_calibration():
+    """§9.5 baseline: ~1.1 M ops/s at saturation."""
+    machine = Machine()
+    server = MemcachedServer(machine.kernel)
+    stats = server.run_closed_loop(machine, outstanding=576,
+                                   duration_ns=200 * MSEC)
+    assert 0.9e6 <= stats.throughput <= 1.4e6
+
+
+def test_memcached_throughput_rises_with_period():
+    """Figure 4's main shape: fewer checkpoints, more throughput."""
+    def run(period_ms):
+        machine = Machine()
+        sls = load_aurora(machine)
+        server = MemcachedServer(machine.kernel)
+        sls.attach(server.proc, period_ns=period_ms * MSEC)
+        return server.run_closed_loop(machine, 576, 300 * MSEC).throughput
+
+    t10 = run(10)
+    t100 = run(100)
+    assert t100 > 1.5 * t10
+
+
+def test_memcached_open_loop_latency_baseline():
+    """Figure 5 baseline: ~157 us average at 120 k ops/s."""
+    machine = Machine()
+    server = MemcachedServer(machine.kernel)
+    stats = server.run_open_loop(machine, 120_000, 300 * MSEC)
+    assert stats.latency_avg_ns < 400 * USEC
+    assert abs(stats.throughput - 120_000) / 120_000 < 0.1
+
+
+def test_memcached_dirty_page_saturation():
+    """Within one period the dirty set saturates at the hot set: the
+    first post-checkpoint touch of each page faults, re-touches are
+    free."""
+    machine = Machine()
+    sls = load_aurora(machine)
+    server = MemcachedServer(machine.kernel)
+    group = sls.attach(server.proc, periodic=False)
+    sls.checkpoint(group, sync=True)  # write-protects the hot set
+    first = server._dirty_pages(server.hot_pages)
+    again = server._dirty_pages(server.hot_pages)
+    assert first == server.hot_pages  # every page COW-faults once
+    assert again == 0                 # already writable this period
+
+
+# -- CRIU on Redis (Table 1) ------------------------------------------------------------------
+
+
+def test_criu_breakdown_on_500mib_redis():
+    """Table 1: OS state ~49 ms, memory ~413 ms, total ~462 ms,
+    IO ~350 ms."""
+    machine = Machine()
+    server = RedisServer(machine.kernel, heap_bytes=600 * MiB)
+    server.populate_synthetic(500 * MiB)
+    report = CRIUCheckpointer(machine.kernel).checkpoint(server.proc)
+    assert 30 * MSEC <= report.os_state_ns <= 80 * MSEC
+    assert 300 * MSEC <= report.memory_copy_ns <= 550 * MSEC
+    assert 350 * MSEC <= report.total_stop_ns <= 620 * MSEC
+    assert 250 * MSEC <= report.io_write_ns <= 480 * MSEC
+
+
+def test_criu_stop_time_dwarfs_aurora():
+    """Table 7's headline: Aurora's stop time is ~100x lower."""
+    machine = Machine()
+    sls = load_aurora(machine)
+    server = RedisServer(machine.kernel, heap_bytes=600 * MiB)
+    server.populate_synthetic(500 * MiB)
+    group = sls.attach(server.proc, periodic=False)
+    sls.checkpoint(group, sync=True)          # base
+    server.proc.vmspace.touch(server.heap, 1024, seed=9)
+    aurora_res = sls.checkpoint(group, full=True, sync=True)
+
+    machine2 = Machine()
+    server2 = RedisServer(machine2.kernel, heap_bytes=600 * MiB)
+    server2.populate_synthetic(500 * MiB)
+    criu = CRIUCheckpointer(machine2.kernel).checkpoint(server2.proc)
+    assert criu.total_stop_ns > 20 * aurora_res.stop_ns
+
+
+def test_criu_queries_every_object():
+    machine = Machine()
+    kernel = machine.kernel
+    proc = kernel.spawn("app")
+    for i in range(10):
+        kernel.open(proc, f"/f{i}", 0x40)
+    report = CRIUCheckpointer(kernel).checkpoint(proc)
+    assert report.objects_queried >= 10
+    assert report.sharing_comparisons > 0

@@ -1,0 +1,101 @@
+"""The sls command line interface (Table 2)."""
+
+import pathlib
+
+import pytest
+
+from repro.core.cli import main
+from repro.core.coredump import parse_core
+
+
+@pytest.fixture
+def image(tmp_path):
+    path = str(tmp_path / "aurora.img")
+    assert main(["init", path]) == 0
+    return path
+
+
+def test_init_creates_image(tmp_path):
+    path = str(tmp_path / "new.img")
+    assert main(["init", path]) == 0
+    assert pathlib.Path(path).exists()
+
+
+def test_spawn_and_ps(image, capsys):
+    assert main(["spawn", image, "demo", "--memory-kib", "64"]) == 0
+    assert main(["ps", image]) == 0
+    out = capsys.readouterr().out
+    assert "demo" in out or "group1" in out
+
+
+def test_run_advances_application(image, capsys):
+    main(["spawn", image, "demo", "--memory-kib", "64"])
+    assert main(["run", image, "1", "--millis", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "step" in out
+
+
+def test_checkpoint_and_history(image, capsys):
+    main(["spawn", image, "demo"])
+    assert main(["checkpoint", image, "1", "--name", "tagged"]) == 0
+    assert main(["history", image, "1"]) == 0
+    out = capsys.readouterr().out
+    assert "tagged" in out
+
+
+def test_restore_reports_state(image, capsys):
+    main(["spawn", image, "demo"])
+    assert main(["restore", image, "1"]) == 0
+    out = capsys.readouterr().out
+    assert "restored group 1" in out
+    assert "pages eager" in out
+
+
+def test_restore_lazy_flag(image, capsys):
+    main(["spawn", image, "demo"])
+    assert main(["restore", image, "1", "--lazy"]) == 0
+    out = capsys.readouterr().out
+    assert "0 pages eager" in out
+
+
+def test_suspend_resume_cycle(image, capsys):
+    main(["spawn", image, "demo"])
+    assert main(["suspend", image, "1"]) == 0
+    assert main(["resume", image, "1"]) == 0
+    out = capsys.readouterr().out
+    assert "resumed group 1" in out
+
+
+def test_dump_produces_parseable_elf(image, tmp_path, capsys):
+    main(["spawn", image, "demo", "--memory-kib", "64"])
+    core_path = str(tmp_path / "core.elf")
+    assert main(["dump", image, "1", "-o", core_path]) == 0
+    parsed = parse_core(pathlib.Path(core_path).read_bytes())
+    assert parsed["segments"]
+    assert parsed["notes"]
+
+
+def test_send_recv_between_images(image, tmp_path, capsys):
+    main(["spawn", image, "demo"])
+    stream_path = str(tmp_path / "app.stream")
+    assert main(["send", image, "1", "-o", stream_path]) == 0
+
+    other = str(tmp_path / "other.img")
+    main(["init", other])
+    assert main(["recv", other, stream_path]) == 0
+    assert main(["restore", other, "1"]) == 0
+    out = capsys.readouterr().out
+    assert "restored group 1" in out
+
+
+def test_image_persists_across_invocations(image, capsys):
+    """Each CLI call boots a fresh machine; only the image survives —
+    like a real disk."""
+    main(["spawn", image, "demo"])
+    main(["run", image, "1", "--millis", "20"])
+    main(["run", image, "1", "--millis", "20"])
+    capsys.readouterr()
+    main(["history", image, "1"])
+    out = capsys.readouterr().out
+    # Checkpoints from all three invocations are in the store.
+    assert len(out.strip().splitlines()) >= 4

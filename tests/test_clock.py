@@ -1,0 +1,112 @@
+"""SimClock and EventLoop determinism."""
+
+import pytest
+
+from repro.hw.clock import EventLoop, SimClock
+
+
+def test_clock_starts_at_zero_and_advances():
+    clock = SimClock()
+    assert clock.now() == 0
+    assert clock.advance(5) == 5
+    assert clock.advance(0) == 5
+
+
+def test_clock_rejects_negative_advance():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_advance_to_never_goes_backwards():
+    clock = SimClock(100)
+    clock.advance_to(50)
+    assert clock.now() == 100
+    clock.advance_to(200)
+    assert clock.now() == 200
+
+
+def test_events_run_in_time_order():
+    clock = SimClock()
+    loop = EventLoop(clock)
+    order = []
+    loop.call_at(30, lambda: order.append("c"))
+    loop.call_at(10, lambda: order.append("a"))
+    loop.call_at(20, lambda: order.append("b"))
+    loop.run_until(100)
+    assert order == ["a", "b", "c"]
+    assert clock.now() == 100
+
+
+def test_same_deadline_runs_in_schedule_order():
+    clock = SimClock()
+    loop = EventLoop(clock)
+    order = []
+    for tag in "xyz":
+        loop.call_at(10, lambda t=tag: order.append(t))
+    loop.run_until(10)
+    assert order == ["x", "y", "z"]
+
+
+def test_cancelled_event_does_not_fire():
+    clock = SimClock()
+    loop = EventLoop(clock)
+    fired = []
+    event = loop.call_at(10, lambda: fired.append(1))
+    event.cancel()
+    loop.run_until(100)
+    assert fired == []
+
+
+def test_callbacks_may_reschedule():
+    clock = SimClock()
+    loop = EventLoop(clock)
+    ticks = []
+
+    def tick():
+        ticks.append(clock.now())
+        if len(ticks) < 3:
+            loop.call_after(10, tick)
+
+    loop.call_after(10, tick)
+    loop.run_until(100)
+    assert ticks == [10, 20, 30]
+
+
+def test_cannot_schedule_in_past():
+    clock = SimClock(50)
+    loop = EventLoop(clock)
+    with pytest.raises(ValueError):
+        loop.call_at(10, lambda: None)
+
+
+def test_clock_advances_to_event_deadline_before_callback():
+    clock = SimClock()
+    loop = EventLoop(clock)
+    seen = []
+    loop.call_at(42, lambda: seen.append(clock.now()))
+    loop.run_until(42)
+    assert seen == [42]
+
+
+def test_drain_runs_everything():
+    clock = SimClock()
+    loop = EventLoop(clock)
+    count = []
+    loop.call_at(5, lambda: count.append(1))
+    loop.call_at(15, lambda: count.append(2))
+    executed = loop.drain()
+    assert executed == 2
+    assert loop.next_deadline() is None
+
+
+def test_drain_detects_runaway():
+    clock = SimClock()
+    loop = EventLoop(clock)
+
+    def forever():
+        loop.call_after(1, forever)
+
+    loop.call_after(1, forever)
+    with pytest.raises(RuntimeError):
+        loop.drain(limit=100)

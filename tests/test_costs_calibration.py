@@ -1,0 +1,104 @@
+"""Locks on the cost model's calibration (src/repro/core/costs.py).
+
+Every constant in the cost model cites a paper measurement; these
+tests pin the *derived relationships* so a future retuning cannot
+silently break a calibration that another number depends on.
+"""
+
+import pytest
+
+from repro.core import costs
+from repro.units import GiB, KiB, MiB, PAGE_SIZE, USEC, MSEC, pages_of
+
+
+def test_all_costs_are_positive_integers():
+    for name in dir(costs):
+        if name.isupper():
+            value = getattr(costs, name)
+            assert isinstance(value, int), name
+            assert value > 0, name
+
+
+def test_journal_4k_write_matches_table5():
+    """Table 5: one 4 KiB journaled page in ~28 us."""
+    transfer = (4 * KiB * 1_000_000_000) // costs.SYNC_WRITE_BW
+    total = costs.SYNC_WRITE_LATENCY + transfer
+    assert 26 * USEC <= total <= 30 * USEC
+
+
+def test_journal_1gib_write_matches_table5():
+    """Table 5: 1 GiB journaled in ~417 ms -> ~2.57 GiB/s."""
+    transfer = (1 * GiB * 1_000_000_000) // costs.SYNC_WRITE_BW
+    assert 380 * MSEC <= transfer <= 440 * MSEC
+
+
+def test_incremental_slope_matches_table5():
+    """Marking + collapse together ~= 23 ns per dirty page."""
+    per_page = costs.COW_MARK_PER_PAGE + costs.COLLAPSE_PAGE_MOVE
+    assert 18 <= per_page <= 30
+
+
+def test_aggregate_flush_bandwidth_matches_table7():
+    """Table 7: 500 MiB flushed in ~97.6 ms -> ~5.4 GiB/s over 4
+    devices."""
+    aggregate = costs.NVME_WRITE_BW * costs.NVME_DEVICES
+    flush_ns = (500 * MiB * 1_000_000_000) // aggregate
+    assert 80 * MSEC <= flush_ns <= 110 * MSEC
+
+
+def test_criu_memory_copy_matches_table1():
+    """Table 1: 500 MB copied in ~413 ms -> ~3.2 us/page."""
+    copy_ns = pages_of(500 * MiB) * costs.CRIU_PAGE_COPY
+    assert 350 * MSEC <= copy_ns <= 480 * MSEC
+
+
+def test_rdb_fork_stop_matches_table7():
+    """Table 7: ~8 ms fork stop for 500 MiB -> ~60 ns/page."""
+    fork_ns = pages_of(500 * MiB) * costs.FORK_COW_SETUP_PER_PAGE
+    assert 6 * MSEC <= fork_ns <= 10 * MSEC
+
+
+def test_restore_page_insert_matches_table6():
+    """Table 6: firefox's 198 MiB full restore is dominated by
+    ~230 ns/page inserts (~11.7 ms)."""
+    insert_ns = pages_of(198 * MiB) * costs.RESTORE_PAGE_INSERT
+    assert 9 * MSEC <= insert_ns <= 14 * MSEC
+
+
+def test_sysv_scan_premium_matches_table4():
+    """Table 4: SysV (14.9 us) = base + 128-slot namespace scan."""
+    total = costs.CKPT_SHM_SYSV_BASE + \
+        costs.SYSV_NAMESPACE_SLOTS * costs.CKPT_SHM_SYSV_SCAN_PER_SLOT
+    assert 14 * USEC <= total <= 16 * USEC
+    assert total > 2 * costs.CKPT_SHM_POSIX
+
+
+def test_kqueue_event_cost_matches_table4():
+    """Table 4: 1024 knotes -> 35.2 us total."""
+    total = costs.CKPT_KQUEUE_BASE + 1024 * costs.CKPT_KEVENT_EACH
+    assert 33 * USEC <= total <= 38 * USEC
+
+
+def test_fsync_cost_ordering_matches_fig3():
+    """Figure 3c: Aurora (no-op) << FFS < ZFS for syncs; Aurora's
+    create is the slowest create."""
+    assert costs.SLSFS_FSYNC < costs.FFS_FSYNC < \
+        costs.ZFS_ZIL_COMMIT + costs.ZFS_COW_TREE_UPDATE
+    assert costs.SLSFS_CREATE_GLOBAL_LOCK > costs.FFS_CREATE + \
+        costs.FFS_SUJ_RECORD
+    assert costs.SLSFS_CREATE_GLOBAL_LOCK > costs.ZFS_CREATE
+
+
+def test_atomic_base_below_incremental_base():
+    """Table 5: sls_memckpt skips quiesce + OS-state walk (~100 us
+    cheaper)."""
+    assert costs.CKPT_ATOMIC_BASE < costs.CKPT_ORCH_BASE
+    assert 50 * USEC <= costs.CKPT_ORCH_BASE - costs.CKPT_ATOMIC_BASE \
+        <= 120 * USEC
+
+
+def test_testbed_shape():
+    """§9: dual Xeon Silver 4116 (24 cores), 96 GiB RAM, 4 devices."""
+    assert costs.NCPUS == 24
+    assert costs.PHYSMEM_BYTES == 96 * GiB
+    assert costs.NVME_DEVICES == 4

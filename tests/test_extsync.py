@@ -1,0 +1,91 @@
+"""External synchrony: buffer-until-commit semantics."""
+
+import pytest
+
+from repro import Machine, load_aurora
+from repro.units import MSEC, PAGE_SIZE
+
+
+@pytest.fixture
+def setup():
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("server")
+    group = sls.attach(proc, periodic=False, external_synchrony=True)
+    return machine, sls, proc, group
+
+
+def test_send_withheld_until_checkpoint_commits(setup):
+    machine, sls, proc, group = setup
+    released = []
+    send = sls.extsync.buffer_send(group, 100, released.append)
+    assert send is not None
+    assert released == []
+    sls.checkpoint(group)         # seals the send to this checkpoint
+    assert released == []         # flush not done yet
+    machine.loop.drain()          # flush completes -> commit -> release
+    assert len(released) == 1
+    assert released[0] >= send.sent_at
+
+
+def test_release_time_is_commit_time(setup):
+    machine, sls, proc, group = setup
+    addr = proc.vmspace.mmap(1024 * PAGE_SIZE, name="heap")
+    proc.vmspace.fill(addr, 1024, seed=0)
+    released = []
+    sls.extsync.buffer_send(group, 64, released.append)
+    res = sls.checkpoint(group)
+    stop_done = machine.clock.now()
+    machine.loop.drain()
+    assert released[0] > stop_done  # waited for the 4 MiB flush
+
+
+def test_nosync_bypasses_buffer(setup):
+    machine, sls, proc, group = setup
+    released = []
+    send = sls.extsync.buffer_send(group, 10, released.append,
+                                   nosync=True)
+    assert send is None
+    assert released == [machine.clock.now()]
+    assert sls.extsync.stats["bypassed"] == 1
+
+
+def test_group_without_extsync_never_buffers():
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("p")
+    group = sls.attach(proc, periodic=False)  # extsync off by default
+    released = []
+    assert sls.extsync.buffer_send(group, 10, released.append) is None
+    assert len(released) == 1
+
+
+def test_sends_batch_to_next_checkpoint(setup):
+    machine, sls, proc, group = setup
+    released = []
+    for i in range(5):
+        sls.extsync.buffer_send(group, i, released.append)
+    assert sls.extsync.pending_for(group) == 5
+    sls.checkpoint(group, sync=True)
+    assert len(released) == 5
+    assert sls.extsync.pending_for(group) == 0
+
+
+def test_messages_after_seal_wait_for_next_checkpoint(setup):
+    machine, sls, proc, group = setup
+    early, late = [], []
+    sls.extsync.buffer_send(group, 1, early.append)
+    sls.checkpoint(group, sync=True)
+    sls.extsync.buffer_send(group, 2, late.append)
+    assert early and not late
+    sls.checkpoint(group, sync=True)
+    assert late
+
+
+def test_delay_statistics(setup):
+    machine, sls, proc, group = setup
+    sls.extsync.buffer_send(group, 1)
+    machine.clock.advance(3 * MSEC)
+    sls.checkpoint(group, sync=True)
+    assert sls.extsync.stats["released"] == 1
+    assert sls.extsync.stats["delay_ns_total"] >= 3 * MSEC

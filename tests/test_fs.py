@@ -1,0 +1,178 @@
+"""VFS, vnodes, descriptor sharing semantics (§5.1's fd example)."""
+
+import pytest
+
+from repro.errors import (BadFileDescriptor, DirectoryNotEmpty, FileExists,
+                          NoSuchFile)
+from repro.kernel.fs.file import O_APPEND, O_CREAT, O_RDWR, O_TRUNC
+from repro.machine import Machine
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def kernel():
+    return Machine().kernel
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.spawn("app")
+
+
+def test_create_write_read(kernel, proc):
+    fd = kernel.open(proc, "/f", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"hello")
+    kernel.lseek(proc, fd, 0)
+    assert kernel.read(proc, fd, 5) == b"hello"
+
+
+def test_offset_advances(kernel, proc):
+    fd = kernel.open(proc, "/f", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"abcdef")
+    kernel.lseek(proc, fd, 2)
+    assert kernel.read(proc, fd, 2) == b"cd"
+    assert kernel.read(proc, fd, 2) == b"ef"
+
+
+def test_append_mode(kernel, proc):
+    fd = kernel.open(proc, "/f", O_CREAT | O_RDWR | O_APPEND)
+    kernel.write(proc, fd, b"one")
+    kernel.lseek(proc, fd, 0)
+    kernel.write(proc, fd, b"two")  # O_APPEND: goes to the end
+    kernel.lseek(proc, fd, 0)
+    assert kernel.read(proc, fd, 6) == b"onetwo"
+
+
+def test_trunc_resets_content(kernel, proc):
+    fd = kernel.open(proc, "/f", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"content")
+    kernel.close(proc, fd)
+    fd = kernel.open(proc, "/f", O_RDWR | O_TRUNC)
+    assert kernel.read(proc, fd, 10) == b""
+
+
+def test_paths_and_directories(kernel, proc):
+    kernel.mkdir(proc, "/dir")
+    kernel.mkdir(proc, "/dir/sub")
+    fd = kernel.open(proc, "/dir/sub/file", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"deep")
+    assert kernel.vfs.listdir("/dir") == ["sub"]
+    assert kernel.vfs.listdir("/dir/sub") == ["file"]
+
+
+def test_open_missing_file_fails(kernel, proc):
+    with pytest.raises(NoSuchFile):
+        kernel.open(proc, "/missing", O_RDWR)
+
+
+def test_create_existing_fails(kernel, proc):
+    kernel.vfs.create("/f")
+    with pytest.raises(FileExists):
+        kernel.vfs.create("/f")
+
+
+def test_unlink_nonempty_dir_fails(kernel, proc):
+    kernel.mkdir(proc, "/d")
+    kernel.open(proc, "/d/f", O_CREAT)
+    with pytest.raises(DirectoryNotEmpty):
+        kernel.unlink(proc, "/d")
+
+
+def test_rename(kernel, proc):
+    fd = kernel.open(proc, "/old", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"data")
+    kernel.vfs.rename("/old", "/new")
+    assert not kernel.vfs.exists("/old")
+    fd2 = kernel.open(proc, "/new", O_RDWR)
+    assert kernel.read(proc, fd2, 4) == b"data"
+
+
+def test_namecache_hits(kernel, proc):
+    kernel.open(proc, "/cached", O_CREAT)
+    misses_before = kernel.vfs.namecache_misses
+    kernel.vfs.namei("/cached")
+    kernel.vfs.namei("/cached")
+    assert kernel.vfs.namecache_misses == misses_before
+    assert kernel.vfs.namecache_hits >= 2
+
+
+# -- the paper's fd-sharing semantics (§5.1) -----------------------------------------
+
+
+def test_fork_shares_file_offset(kernel, proc):
+    """fork: one OpenFile in two tables — reads move a *shared*
+    offset."""
+    fd = kernel.open(proc, "/f", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"abcdefgh")
+    kernel.lseek(proc, fd, 0)
+    child = kernel.fork(proc)
+    assert kernel.read(proc, fd, 2) == b"ab"
+    assert kernel.read(child, fd, 2) == b"cd"  # continues parent's offset
+    assert kernel.read(proc, fd, 2) == b"ef"
+
+
+def test_separate_opens_have_independent_offsets(kernel, proc):
+    """Two opens of one path: two OpenFiles, one vnode — independent
+    offsets over shared data."""
+    fd1 = kernel.open(proc, "/f", O_CREAT | O_RDWR)
+    kernel.write(proc, fd1, b"abcdefgh")
+    fd2 = kernel.open(proc, "/f", O_RDWR)
+    assert kernel.read(proc, fd2, 4) == b"abcd"
+    kernel.lseek(proc, fd1, 0)
+    assert kernel.read(proc, fd1, 4) == b"abcd"
+    assert kernel.read(proc, fd2, 4) == b"efgh"
+
+
+def test_dup_shares_offset(kernel, proc):
+    fd = kernel.open(proc, "/f", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"0123456789")
+    kernel.lseek(proc, fd, 0)
+    fd2 = kernel.dup(proc, fd)
+    assert kernel.read(proc, fd, 3) == b"012"
+    assert kernel.read(proc, fd2, 3) == b"345"
+
+
+def test_close_invalid_fd(kernel, proc):
+    with pytest.raises(BadFileDescriptor):
+        kernel.close(proc, 99)
+
+
+def test_anonymous_file_readable_while_open(kernel, proc):
+    """Unlinked-but-open files keep working (until reboot, on a
+    conventional FS)."""
+    fd = kernel.open(proc, "/tmpfile", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"scratch")
+    kernel.unlink(proc, "/tmpfile")
+    assert not kernel.vfs.exists("/tmpfile")
+    kernel.lseek(proc, fd, 0)
+    assert kernel.read(proc, fd, 7) == b"scratch"
+
+
+def test_memfs_loses_everything_on_crash():
+    machine = Machine()
+    kernel = machine.kernel
+    proc = kernel.spawn("app")
+    kernel.open(proc, "/doomed", O_CREAT | O_RDWR)
+    machine.crash()
+    kernel2 = machine.boot()
+    assert not kernel2.vfs.exists("/doomed")
+
+
+def test_mmap_file_shared(kernel, proc):
+    fd = kernel.open(proc, "/m", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"x" * PAGE_SIZE)
+    addr = kernel.mmap_file(proc, fd, PAGE_SIZE, shared=True)
+    # Writes through the mapping are visible through read().
+    proc.vmspace.write(addr, b"MAPPED")
+    kernel.lseek(proc, fd, 0)
+    assert kernel.read(proc, fd, 6) == b"MAPPED"
+
+
+def test_mmap_file_private(kernel, proc):
+    fd = kernel.open(proc, "/p", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"original" + b"\x00" * 100)
+    addr = kernel.mmap_file(proc, fd, PAGE_SIZE, shared=False)
+    proc.vmspace.write(addr, b"PRIVATE!")
+    kernel.lseek(proc, fd, 0)
+    assert kernel.read(proc, fd, 8) == b"original"
+    assert proc.vmspace.read(addr, 8) == b"PRIVATE!"

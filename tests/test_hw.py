@@ -1,0 +1,232 @@
+"""Hardware models: NVMe devices, striping, memory, CPUs, NIC."""
+
+import pytest
+
+from repro.core import costs
+from repro.errors import DeviceFull, InvalidArgument, StoreError
+from repro.hw.clock import SimClock
+from repro.hw.cpu import CPUSet
+from repro.hw.memory import Page, PhysicalMemory, synthetic_bytes
+from repro.hw.nic import NIC
+from repro.hw.nvme import NVMeDevice, StripedArray, synthetic_payload
+from repro.units import GiB, KiB, MiB, PAGE_SIZE, STRIPE_SIZE, USEC
+
+
+# -- pages -------------------------------------------------------------------
+
+
+def test_page_requires_exactly_one_payload():
+    with pytest.raises(InvalidArgument):
+        Page()
+    with pytest.raises(InvalidArgument):
+        Page(data=b"x", seed=1)
+
+
+def test_page_realize_pads_to_page_size():
+    page = Page(data=b"abc")
+    content = page.realize()
+    assert len(content) == PAGE_SIZE
+    assert content.startswith(b"abc")
+
+
+def test_synthetic_page_is_deterministic():
+    assert Page(seed=7).realize() == Page(seed=7).realize()
+    assert Page(seed=7).realize() != Page(seed=8).realize()
+    assert synthetic_bytes(7, 100) == Page(seed=7).realize()[:100]
+
+
+def test_page_copy_preserves_content():
+    real = Page(data=b"hello")
+    syn = Page(seed=3)
+    assert real.copy().same_content(real)
+    assert syn.copy().same_content(syn)
+
+
+def test_page_rejects_oversized_payload():
+    with pytest.raises(InvalidArgument):
+        Page(data=b"x" * (PAGE_SIZE + 1))
+
+
+# -- physical memory ------------------------------------------------------------
+
+
+def test_physmem_accounting():
+    mem = PhysicalMemory(10 * PAGE_SIZE)
+    assert mem.total_frames == 10
+    mem.allocate(4)
+    assert mem.used_frames == 4
+    assert mem.free_frames == 6
+    mem.release(2)
+    assert mem.used_frames == 2
+
+
+def test_physmem_overflow_is_an_error():
+    mem = PhysicalMemory(2 * PAGE_SIZE)
+    with pytest.raises(MemoryError):
+        mem.allocate(3)
+
+
+def test_physmem_release_underflow_rejected():
+    mem = PhysicalMemory(2 * PAGE_SIZE)
+    with pytest.raises(InvalidArgument):
+        mem.release(1)
+
+
+# -- NVMe ------------------------------------------------------------------------
+
+
+def make_device(capacity=1 * GiB):
+    clock = SimClock()
+    return clock, NVMeDevice(clock, capacity)
+
+
+def test_sync_write_read_round_trip():
+    clock, dev = make_device()
+    dev.write(0, b"hello world")
+    assert dev.read(0) == b"hello world"
+
+
+def test_write_beyond_capacity_rejected():
+    clock, dev = make_device(capacity=1024)
+    with pytest.raises(DeviceFull):
+        dev.submit_write(1000, b"x" * 100)
+
+
+def test_read_of_unwritten_extent_fails():
+    clock, dev = make_device()
+    with pytest.raises(StoreError):
+        dev.read(4096)
+
+
+def test_async_write_not_visible_until_completion():
+    clock, dev = make_device()
+    done = dev.submit_write(0, b"payload")
+    assert not dev.has_extent(0)
+    clock.advance_to(done)
+    assert dev.has_extent(0)
+
+
+def test_crash_tears_inflight_writes():
+    clock, dev = make_device()
+    done1 = dev.submit_write(0, b"first")
+    clock.advance_to(done1)
+    dev.submit_write(8192, b"second")  # still in the queue
+    lost = dev.discard_inflight()
+    assert lost == 1
+    assert dev.has_extent(0)
+    assert not dev.has_extent(8192)
+
+
+def test_sync_write_latency_matches_journal_calibration():
+    """A 4 KiB queue-depth-1 sync write costs ~28 us (Table 5)."""
+    clock, dev = make_device()
+    start = clock.now()
+    dev.write(0, b"x" * 4096, sync=True)
+    elapsed = clock.now() - start
+    assert 25 * USEC <= elapsed <= 32 * USEC
+
+
+def test_async_writes_pipeline_at_bandwidth():
+    """Many queued writes stream at device bandwidth: total time far
+    below the sum of per-command latencies."""
+    clock, dev = make_device()
+    n = 100
+    last = 0
+    for i in range(n):
+        last = dev.submit_write(i * STRIPE_SIZE * 4,
+                                synthetic_payload(i, 4096))
+    elapsed = last - clock.now()
+    assert elapsed < n * costs.NVME_WRITE_LATENCY
+
+
+def test_stripe_units_map_round_robin():
+    clock = SimClock()
+    array = StripedArray(clock, ndevices=4, capacity_per_device=1 * GiB)
+    array.write(0, b"a")
+    array.write(STRIPE_SIZE, b"b")
+    array.write(2 * STRIPE_SIZE, b"c")
+    array.write(3 * STRIPE_SIZE, b"d")
+    counts = [dev.write_commands for dev in array.devices]
+    assert counts == [1, 1, 1, 1]
+    assert array.read(STRIPE_SIZE) == b"b"
+
+
+def test_striped_aggregate_bandwidth_beats_single_device():
+    """4 devices striped flush ~4x faster than one device."""
+    def flush_time(ndev):
+        clock = SimClock()
+        array = StripedArray(clock, ndevices=ndev,
+                             capacity_per_device=4 * GiB)
+        total = 64 * MiB
+        last = 0
+        offset = 0
+        while offset < total:
+            last = array.submit_write(offset,
+                                      synthetic_payload(0, STRIPE_SIZE))
+            offset += STRIPE_SIZE
+        return last
+
+    t1 = flush_time(1)
+    t4 = flush_time(4)
+    assert t1 > 3 * t4
+
+
+def test_synthetic_payload_accounting():
+    clock, dev = make_device()
+    dev.write(0, synthetic_payload(seed=9, length=64 * KiB))
+    assert dev.bytes_written == 64 * KiB
+    payload = dev.read(0)
+    assert payload == ("synthetic", 9, 64 * KiB)
+
+
+# -- CPUs ------------------------------------------------------------------------------
+
+
+def test_ipi_broadcast_charges_time_and_counts():
+    clock = SimClock()
+    cpus = CPUSet(clock, 8)
+    elapsed = cpus.broadcast_ipi(4)
+    assert elapsed > 0
+    assert clock.now() == elapsed
+    assert sum(c.ipi_count for c in cpus.cpus) == 4
+
+
+def test_tlb_shootdown_caps_at_full_flush():
+    clock = SimClock()
+    cpus = CPUSet(clock, 4)
+    small = cpus.tlb_shootdown(2, 4)
+    clock2 = SimClock()
+    cpus2 = CPUSet(clock2, 4)
+    huge = cpus2.tlb_shootdown(2, 1_000_000)
+    capped = (costs.TLB_SHOOTDOWN_BASE +
+              costs.TLB_FULL_FLUSH_THRESHOLD_PAGES *
+              costs.TLB_INVLPG_PER_PAGE)
+    assert small < huge <= capped
+    assert cpus2.cpus[0].tlb_flush_count == 1
+
+
+def test_zero_core_operations_are_free():
+    clock = SimClock()
+    cpus = CPUSet(clock, 4)
+    assert cpus.broadcast_ipi(0) == 0
+    assert cpus.tlb_shootdown(0, 100) == 0
+    assert clock.now() == 0
+
+
+# -- NIC ------------------------------------------------------------------------------------
+
+
+def test_nic_transfer_time_scales_with_size():
+    clock = SimClock()
+    nic = NIC(clock)
+    small = nic.transfer_time(1000)
+    large = nic.transfer_time(1_000_000)
+    assert large > 100 * small
+
+
+def test_nic_send_counts():
+    clock = SimClock()
+    nic = NIC(clock)
+    nic.send(1500)
+    assert nic.bytes_sent == 1500
+    assert nic.packets_sent == 1

@@ -1,0 +1,248 @@
+"""IPC objects: pipes, UNIX sockets (+fd passing), shm, kqueue, pty,
+devices."""
+
+import pytest
+
+from repro.errors import (BrokenPipe, ConnectionRefused, NoSuchFile,
+                          PermissionDenied, WouldBlock)
+from repro.kernel.ipc.devfs import DeviceFile, VDSO
+from repro.kernel.ipc.kqueue import EVFILT_READ, EVFILT_TIMER, KEvent
+from repro.kernel.ipc.unixsock import ControlMessage, UnixSocket
+from repro.machine import Machine
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def kernel():
+    return Machine().kernel
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.spawn("app")
+
+
+# -- pipes -------------------------------------------------------------------------
+
+
+def test_pipe_write_read(kernel, proc):
+    rfd, wfd = kernel.pipe(proc)
+    kernel.write(proc, wfd, b"through the pipe")
+    assert kernel.read(proc, rfd, 16) == b"through the pipe"
+
+
+def test_pipe_empty_read_blocks(kernel, proc):
+    rfd, _wfd = kernel.pipe(proc)
+    with pytest.raises(WouldBlock):
+        kernel.read(proc, rfd, 1)
+
+
+def test_pipe_eof_after_writer_closes(kernel, proc):
+    rfd, wfd = kernel.pipe(proc)
+    pipe = proc.fdtable.get(wfd).fobj
+    kernel.write(proc, wfd, b"last")
+    pipe.close_write()
+    assert kernel.read(proc, rfd, 10) == b"last"
+    assert kernel.read(proc, rfd, 10) == b""  # EOF
+
+
+def test_pipe_broken_when_no_readers(kernel, proc):
+    _rfd, wfd = kernel.pipe(proc)
+    pipe = proc.fdtable.get(wfd).fobj
+    pipe.close_read()
+    with pytest.raises(BrokenPipe):
+        kernel.write(proc, wfd, b"x")
+
+
+def test_pipe_shared_across_fork(kernel, proc):
+    rfd, wfd = kernel.pipe(proc)
+    child = kernel.fork(proc)
+    kernel.write(child, wfd, b"from child")
+    assert kernel.read(proc, rfd, 10) == b"from child"
+
+
+# -- UNIX sockets ----------------------------------------------------------------------
+
+
+def test_socketpair_transfer(kernel, proc):
+    lfd, rfd = kernel.socketpair(proc)
+    left = kernel.sock_of(proc, lfd)
+    right = kernel.sock_of(proc, rfd)
+    left.send(b"ping")
+    assert right.recv() == b"ping"
+    right.send(b"pong")
+    assert left.recv() == b"pong"
+
+
+def test_unix_bind_listen_connect(kernel, proc):
+    server = UnixSocket(kernel)
+    server.bind("/tmp/sock")
+    server.listen()
+    client = UnixSocket(kernel)
+    client.connect("/tmp/sock")
+    accepted = server.accept()
+    client.send(b"hello server")
+    assert accepted.recv() == b"hello server"
+
+
+def test_unix_connect_refused_without_listener(kernel):
+    client = UnixSocket(kernel)
+    with pytest.raises(ConnectionRefused):
+        client.connect("/nope")
+
+
+def test_fd_passing_over_unix_socket(kernel, proc):
+    """SCM_RIGHTS: a descriptor rides the socket buffer; the receiver
+    installs it and shares the OpenFile (offset included)."""
+    fd = kernel.open(proc, "/passed", 0x40 | 0x2)
+    kernel.write(proc, fd, b"payload")
+    file = proc.fdtable.get(fd)
+
+    lfd, rfd = kernel.socketpair(proc)
+    left = kernel.sock_of(proc, lfd)
+    right = kernel.sock_of(proc, rfd)
+    left.sendmsg(b"here's a file", ControlMessage(files=[file]))
+    assert right.inflight_files() == [file]
+
+    message = right.recvmsg()
+    received = message.control.files[0]
+    other = kernel.spawn("receiver")
+    newfd = other.fdtable.install(received)
+    received.unref()  # message's reference handed to the table
+    kernel.lseek(other, newfd, 0)
+    assert kernel.read(other, newfd, 7) == b"payload"
+
+
+def test_unix_buffer_full(kernel):
+    left, right = UnixSocket.socketpair(kernel)
+    right.options["SO_RCVBUF"] = 8
+    left.send(b"12345678")
+    with pytest.raises(WouldBlock):
+        left.send(b"x")
+
+
+# -- shared memory ---------------------------------------------------------------------------
+
+
+def test_posix_shm_shared_between_processes(kernel, proc):
+    fd = kernel.shm_open(proc, "/seg", 4 * PAGE_SIZE)
+    addr = kernel.shm_mmap(proc, fd)
+    other = kernel.spawn("other")
+    fd2 = kernel.shm_open(other, "/seg", 4 * PAGE_SIZE)
+    addr2 = kernel.shm_mmap(other, fd2)
+    proc.vmspace.write(addr, b"shared!")
+    assert other.vmspace.read(addr2, 7) == b"shared!"
+
+
+def test_posix_shm_unlink(kernel, proc):
+    kernel.shm_open(proc, "/gone", PAGE_SIZE)
+    kernel.posix_shm.unlink("/gone")
+    with pytest.raises(NoSuchFile):
+        kernel.posix_shm.open("/gone", create=False)
+
+
+def test_sysv_shm_key_lookup(kernel, proc):
+    shmid = kernel.shmget(0x1234, 2 * PAGE_SIZE)
+    assert kernel.shmget(0x1234, 2 * PAGE_SIZE) == shmid
+    addr = kernel.shmat(proc, shmid)
+    other = kernel.spawn("other")
+    addr2 = kernel.shmat(other, shmid)
+    proc.vmspace.write(addr, b"sysv")
+    assert other.vmspace.read(addr2, 4) == b"sysv"
+
+
+def test_sysv_rmid(kernel):
+    shmid = kernel.shmget(0x99, PAGE_SIZE)
+    kernel.sysv_shm.shmctl_rmid(shmid)
+    with pytest.raises(NoSuchFile):
+        kernel.sysv_shm.segment(shmid)
+
+
+def test_shm_backmap_tracks_object(kernel, proc):
+    fd = kernel.shm_open(proc, "/bm", PAGE_SIZE)
+    segment = proc.fdtable.get(fd).fobj
+    assert kernel.shm_backmap[segment.vmobject.kid] is segment
+    from repro.kernel.vm.vmobject import VMObject
+    new_obj = VMObject(kernel, 1)
+    old_kid = segment.vmobject.kid
+    segment.replace_object(new_obj)
+    assert old_kid not in kernel.shm_backmap
+    assert kernel.shm_backmap[new_obj.kid] is segment
+
+
+# -- kqueue ---------------------------------------------------------------------------------------
+
+
+def test_kqueue_register_trigger_collect(kernel, proc):
+    kqfd = kernel.kqueue(proc)
+    kq = proc.fdtable.get(kqfd).fobj
+    kq.register(KEvent(5, EVFILT_READ))
+    kq.register(KEvent(1, EVFILT_TIMER, udata=42))
+    assert len(kq) == 2
+    kq.trigger(5, EVFILT_READ, data=100)
+    events = kq.collect()
+    assert len(events) == 1
+    assert events[0].ident == 5 and events[0].data == 100
+
+
+def test_kqueue_deregister(kernel, proc):
+    kqfd = kernel.kqueue(proc)
+    kq = proc.fdtable.get(kqfd).fobj
+    kq.register(KEvent(5, EVFILT_READ))
+    kq.deregister(5, EVFILT_READ)
+    kq.trigger(5, EVFILT_READ)
+    assert kq.collect() == []
+
+
+# -- pseudoterminals ----------------------------------------------------------------------------------
+
+
+def test_pty_echo_and_transfer(kernel, proc):
+    mfd, sfd = kernel.open_pty(proc)
+    pty = proc.fdtable.get(mfd).fobj
+    pty.master_write(b"ls\n")
+    assert pty.slave_read(10) == b"ls\n"
+    assert pty.master_read(10) == b"ls\n"  # echo
+    pty.termios["echo"] = False
+    pty.master_write(b"x")
+    assert pty.master_read(10) == b""
+
+
+def test_pty_winsize(kernel, proc):
+    mfd, _sfd = kernel.open_pty(proc)
+    pty = proc.fdtable.get(mfd).fobj
+    pty.set_winsize(50, 120)
+    assert pty.termios["rows"] == 50
+    assert pty.termios["cols"] == 120
+
+
+# -- devices --------------------------------------------------------------------------------------------
+
+
+def test_device_whitelist_enforced(kernel):
+    with pytest.raises(PermissionDenied):
+        DeviceFile(kernel, "gpu0")
+
+
+def test_null_and_zero_devices(kernel, proc):
+    zfd = kernel.open_device(proc, "zero")
+    assert kernel.read(proc, zfd, 4) == b"\x00" * 4
+    nfd = kernel.open_device(proc, "null")
+    assert kernel.write(proc, nfd, b"discard") == 7
+
+
+def test_hpet_mapped_read_only(kernel, proc):
+    from repro.errors import SegmentationFault
+    addr = kernel.map_hpet(proc)
+    proc.vmspace.read(addr, 8)  # readable
+    with pytest.raises(SegmentationFault):
+        proc.vmspace.write(addr, b"x")
+
+
+def test_vdso_differs_per_boot():
+    machine = Machine()
+    seed1 = machine.kernel.vdso.content_seed()
+    machine.crash()
+    machine.boot()
+    seed2 = machine.kernel.vdso.content_seed()
+    assert seed1 != seed2

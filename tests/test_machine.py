@@ -1,0 +1,85 @@
+"""Machine lifecycle: boots, crashes, torn IO, event-loop scoping."""
+
+import pytest
+
+from repro import Machine
+from repro.errors import MachineCrashed
+from repro.units import GiB, MSEC
+
+
+def test_boot_counts_and_vdso_changes():
+    machine = Machine()
+    assert machine.boot_count == 1
+    first_vdso = machine.kernel.vdso.content_seed()
+    machine.crash()
+    machine.boot()
+    assert machine.boot_count == 2
+    assert machine.kernel.vdso.content_seed() != first_vdso
+
+
+def test_cannot_boot_twice_without_crash():
+    machine = Machine()
+    with pytest.raises(MachineCrashed):
+        machine.boot()
+
+
+def test_crashed_kernel_rejects_syscalls():
+    machine = Machine()
+    kernel = machine.kernel
+    proc = kernel.spawn("app")
+    machine.crash()
+    with pytest.raises(MachineCrashed):
+        kernel.open(proc, "/f", 0x40)
+
+
+def test_crash_discards_pending_events():
+    machine = Machine()
+    fired = []
+    machine.loop.call_after(5 * MSEC, lambda: fired.append(1))
+    machine.crash()
+    machine.boot()
+    machine.run_for(50 * MSEC)
+    assert fired == []
+
+
+def test_crash_tears_inflight_device_writes():
+    machine = Machine()
+    machine.storage.submit_write(1 << 20, b"doomed")
+    lost = machine.crash()
+    assert lost == 1
+    machine.boot()
+    assert not machine.storage.has_extent(1 << 20)
+
+
+def test_clock_survives_crashes():
+    machine = Machine()
+    t_before = machine.clock.now()
+    machine.crash()
+    machine.boot()
+    assert machine.clock.now() > t_before  # boot time elapsed
+
+
+def test_shutdown_drains_io():
+    machine = Machine()
+    machine.storage.submit_write(1 << 20, b"flushed")
+    machine.shutdown()
+    assert machine.storage.has_extent(1 << 20)
+
+
+def test_running_kernel_guard():
+    machine = Machine()
+    machine.crash()
+    with pytest.raises(MachineCrashed):
+        machine.running_kernel()
+
+
+def test_ram_is_reset_per_boot():
+    machine = Machine(ram_bytes=1 * GiB)
+    proc = machine.kernel.spawn("hog")
+    addr = proc.vmspace.mmap(1000 * 4096)
+    proc.vmspace.fill(addr, 1000, seed=1)
+    used = machine.kernel.physmem.used_frames
+    assert used >= 1000
+    machine.crash()
+    machine.boot()
+    assert machine.kernel.physmem.used_frames < used

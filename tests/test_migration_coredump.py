@@ -1,0 +1,110 @@
+"""sls send/recv migration streams and sls dump coredumps."""
+
+import pytest
+
+from repro import Machine, load_aurora
+from repro.core import migration
+from repro.core.coredump import dump_process, parse_core, NT_PRSTATUS
+from repro.errors import RestoreError
+from repro.units import PAGE_SIZE
+
+
+def make_app(machine, sls, name="app"):
+    proc = machine.kernel.spawn(name)
+    addr = proc.vmspace.mmap(16 * PAGE_SIZE, name="heap")
+    proc.vmspace.write(addr, f"{name} memory".encode())
+    group = sls.attach(proc, name=name, periodic=False)
+    return proc, group, addr
+
+
+def test_send_recv_between_machines():
+    src = Machine()
+    src_sls = load_aurora(src)
+    proc, group, addr = make_app(src, src_sls)
+    src_sls.checkpoint(group, sync=True)
+
+    stream = migration.send_checkpoint(src_sls, group.group_id)
+    assert isinstance(stream, bytes)
+
+    dst = Machine()
+    dst_sls = load_aurora(dst)
+    ckpt_id = migration.recv_checkpoint(dst_sls, stream)
+    result = dst_sls.restore(group.group_id, ckpt_id=ckpt_id,
+                             periodic=False)
+    assert result.root.vmspace.read(addr, 10) == b"app memory"
+
+
+def test_incremental_stream_smaller_than_full():
+    src = Machine()
+    src_sls = load_aurora(src)
+    proc, group, addr = make_app(src, src_sls)
+    proc.vmspace.fill(addr, 16, seed=0)
+    src_sls.checkpoint(group, sync=True)
+    base_id = group.last_complete_id
+    full_stream = migration.send_checkpoint(src_sls, group.group_id)
+
+    proc.vmspace.touch(addr, 1, seed=99)
+    src_sls.checkpoint(group, sync=True)
+    delta_stream = migration.send_checkpoint(src_sls, group.group_id,
+                                             since=base_id)
+    assert len(delta_stream) < len(full_stream)
+
+
+def test_live_migrate_moves_the_application():
+    src = Machine()
+    src_sls = load_aurora(src)
+    dst = Machine()
+    dst_sls = load_aurora(dst)
+    proc, group, addr = make_app(src, src_sls, name="traveler")
+    gid = group.group_id
+
+    result = migration.migrate(src_sls, dst_sls, group)
+    assert result.root.vmspace.read(addr, 15) == b"traveler memory"
+    # Source incarnation is gone; destination owns the group.
+    assert proc.state == "zombie"
+    assert gid in dst_sls.groups
+    assert gid not in src_sls.groups
+
+
+def test_recv_rejects_garbage():
+    dst = Machine()
+    dst_sls = load_aurora(dst)
+    from repro import serde
+    with pytest.raises(RestoreError):
+        migration.recv_checkpoint(dst_sls, serde.dumps({"magic": "nope"}))
+
+
+# -- coredumps ----------------------------------------------------------------------
+
+
+def test_coredump_structure():
+    machine = Machine()
+    kernel = machine.kernel
+    proc = kernel.spawn("dumpme")
+    proc.add_thread()
+    addr = proc.vmspace.mmap(2 * PAGE_SIZE, name="heap")
+    proc.vmspace.write(addr, b"core contents")
+    proc.main_thread.cpu_state.regs["rip"] = 0x401000
+
+    core = dump_process(proc)
+    parsed = parse_core(core)
+    assert len(parsed["notes"]) == 2  # one PRSTATUS per thread
+    assert all(n["type"] == NT_PRSTATUS for n in parsed["notes"])
+    segments = {s["vaddr"]: s["data"] for s in parsed["segments"]}
+    assert segments[addr].startswith(b"core contents")
+    assert len(segments[addr]) == 2 * PAGE_SIZE
+
+
+def test_coredump_skips_device_mappings():
+    machine = Machine()
+    proc = machine.kernel.spawn("p")
+    machine.kernel.map_hpet(proc)
+    heap = proc.vmspace.mmap(PAGE_SIZE, name="heap")
+    proc.vmspace.write(heap, b"x")
+    parsed = parse_core(dump_process(proc))
+    assert len(parsed["segments"]) == 1
+
+
+def test_parse_rejects_non_elf():
+    with pytest.raises(RestoreError):
+        parse_core(b"not an elf at all")

@@ -1,0 +1,122 @@
+"""UDP and TCP socket models."""
+
+import pytest
+
+from repro.errors import (AddressInUse, ConnectionRefused, NotConnected,
+                          WouldBlock)
+from repro.kernel.net.tcp import TCPSocket, TCP_ESTABLISHED, TCP_LISTEN
+from repro.kernel.net.udp import UDPSocket
+from repro.machine import Machine
+
+
+@pytest.fixture
+def kernel():
+    return Machine().kernel
+
+
+def test_udp_bind_and_receive(kernel):
+    sock = UDPSocket(kernel)
+    sock.bind("10.0.0.1", 53)
+    assert sock.enqueue(("10.0.0.2", 9999), b"query")
+    payload, source = sock.recvfrom()
+    assert payload == b"query"
+    assert source == ("10.0.0.2", 9999)
+
+
+def test_udp_port_conflict(kernel):
+    a = UDPSocket(kernel)
+    a.bind("10.0.0.1", 53)
+    b = UDPSocket(kernel)
+    with pytest.raises(AddressInUse):
+        b.bind("10.0.0.1", 53)
+
+
+def test_udp_reuseaddr(kernel):
+    a = UDPSocket(kernel)
+    a.bind("10.0.0.1", 53)
+    b = UDPSocket(kernel)
+    b.options["SO_REUSEADDR"] = 1
+    b.bind("10.0.0.1", 53)  # allowed
+
+
+def test_udp_drops_when_buffer_full(kernel):
+    sock = UDPSocket(kernel)
+    sock.options["SO_RCVBUF"] = 10
+    assert sock.enqueue(("a", 1), b"0123456789")
+    assert not sock.enqueue(("a", 1), b"dropped")
+
+
+def test_udp_empty_recv_blocks(kernel):
+    sock = UDPSocket(kernel)
+    with pytest.raises(WouldBlock):
+        sock.recvfrom()
+
+
+def test_tcp_connect_accept_transfer(kernel):
+    server = TCPSocket(kernel)
+    server.bind("10.0.0.1", 80)
+    server.listen()
+    client = TCPSocket(kernel)
+    client.connect("10.0.0.1", 80)
+    accepted = server.accept()
+    assert accepted.state == TCP_ESTABLISHED
+    assert client.state == TCP_ESTABLISHED
+    client.send(b"GET /")
+    assert accepted.recv(5) == b"GET /"
+    accepted.send(b"200 OK")
+    assert client.recv(6) == b"200 OK"
+
+
+def test_tcp_sequence_numbers_advance(kernel):
+    server = TCPSocket(kernel)
+    server.bind("10.0.0.1", 80)
+    server.listen()
+    client = TCPSocket(kernel)
+    client.connect("10.0.0.1", 80)
+    accepted = server.accept()
+    start = client.snd_nxt
+    client.send(b"12345")
+    assert client.snd_nxt == (start + 5) & 0xFFFFFFFF
+    assert accepted.rcv_nxt == client.snd_nxt
+
+
+def test_tcp_connect_refused_without_listener(kernel):
+    client = TCPSocket(kernel)
+    with pytest.raises(ConnectionRefused):
+        client.connect("10.0.0.9", 80)
+
+
+def test_tcp_backlog_limit_drops_syn(kernel):
+    server = TCPSocket(kernel)
+    server.bind("10.0.0.1", 80)
+    server.listen(backlog=1)
+    TCPSocket(kernel).connect("10.0.0.1", 80)
+    with pytest.raises(ConnectionRefused):
+        TCPSocket(kernel).connect("10.0.0.1", 80)
+
+
+def test_tcp_five_tuple(kernel):
+    server = TCPSocket(kernel)
+    server.bind("10.0.0.1", 80)
+    server.listen()
+    client = TCPSocket(kernel)
+    client.connect("10.0.0.1", 80)
+    accepted = server.accept()
+    proto, laddr, lport, raddr, rport = accepted.five_tuple()
+    assert proto == "tcp"
+    assert (laddr, lport) == ("10.0.0.1", 80)
+
+
+def test_tcp_send_on_closed_socket(kernel):
+    sock = TCPSocket(kernel)
+    with pytest.raises(NotConnected):
+        sock.send(b"x")
+
+
+def test_tcp_port_released_on_destroy(kernel):
+    server = TCPSocket(kernel)
+    server.bind("10.0.0.1", 80)
+    server.listen()
+    server.unref()
+    fresh = TCPSocket(kernel)
+    fresh.bind("10.0.0.1", 80)  # no AddressInUse

@@ -1,0 +1,193 @@
+"""The SLS orchestrator: periodic checkpoints, suspend/resume, ps."""
+
+import pytest
+
+from repro import Machine, load_aurora
+from repro.errors import AlreadyAttached, NoSuchCheckpoint, SLSError
+from repro.units import MSEC, PAGE_SIZE, USEC
+
+
+@pytest.fixture
+def setup():
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("app")
+    return machine, sls, proc
+
+
+def test_attach_includes_process_tree(setup):
+    machine, sls, proc = setup
+    child = machine.kernel.fork(proc)
+    group = sls.attach(proc, periodic=False)
+    assert proc in group.processes
+    assert child in group.processes
+
+
+def test_double_attach_rejected(setup):
+    machine, sls, proc = setup
+    sls.attach(proc, periodic=False)
+    with pytest.raises(AlreadyAttached):
+        sls.attach(proc, periodic=False)
+
+
+def test_fork_after_attach_joins_group(setup):
+    machine, sls, proc = setup
+    group = sls.attach(proc, periodic=False)
+    child = machine.kernel.fork(proc)
+    assert child.sls_group is group
+
+
+def test_periodic_checkpointing_at_default_100hz(setup):
+    """§3: the default frequency is 100x per second."""
+    machine, sls, proc = setup
+    addr = proc.vmspace.mmap(8 * PAGE_SIZE, name="heap")
+    group = sls.attach(proc)
+    for tick in range(10):
+        proc.vmspace.touch(addr, 2, seed=tick)
+        machine.run_for(10 * MSEC)
+    assert 8 <= group.stats["checkpoints"] <= 11
+    assert group.period_ns == 10 * MSEC
+
+
+def test_custom_period(setup):
+    machine, sls, proc = setup
+    group = sls.attach(proc, period_ns=50 * MSEC)
+    machine.run_for(500 * MSEC)
+    assert 8 <= group.stats["checkpoints"] <= 11
+
+
+def test_checkpoint_skipped_while_flush_in_flight(setup):
+    machine, sls, proc = setup
+    group = sls.attach(proc, periodic=False)
+    addr = proc.vmspace.mmap(1024 * PAGE_SIZE, name="heap")
+    proc.vmspace.fill(addr, 1024, seed=0)
+    sls.checkpoint(group)  # async: flush in flight
+    assert group.flush_in_progress
+    with pytest.raises(SLSError):
+        sls.checkpoint(group)
+    machine.loop.drain()
+    assert not group.flush_in_progress
+    sls.checkpoint(group)  # fine now
+
+
+def test_detach_stops_persistence(setup):
+    machine, sls, proc = setup
+    group = sls.attach(proc)
+    machine.run_for(50 * MSEC)
+    count = group.stats["checkpoints"]
+    sls.detach(group)
+    machine.run_for(100 * MSEC)
+    assert group.stats["checkpoints"] == count
+    assert proc.sls_group is None
+
+
+def test_member_exit_stops_serialization(setup):
+    machine, sls, proc = setup
+    group = sls.attach(proc, periodic=False)
+    child = machine.kernel.fork(proc)
+    sls.checkpoint(group, sync=True)
+    child.exit(0)
+    res = sls.checkpoint(group, sync=True)
+    machine.crash()
+    machine.boot()
+    sls2 = load_aurora(machine)
+    result = sls2.restore(group.group_id)
+    assert len(result.processes) == 1
+
+
+def test_suspend_and_resume(setup):
+    machine, sls, proc = setup
+    addr = proc.vmspace.mmap(4 * PAGE_SIZE, name="heap")
+    proc.vmspace.write(addr, b"suspended state")
+    group = sls.attach(proc, periodic=False)
+    gid = group.group_id
+    sls.suspend(group)
+    assert proc.state == "zombie"
+    assert gid not in sls.groups
+
+    result = sls.resume(gid)
+    assert result.root.vmspace.read(addr, 15) == b"suspended state"
+
+
+def test_ps_lists_applications(setup):
+    machine, sls, proc = setup
+    group = sls.attach(proc, name="server", periodic=False)
+    sls.checkpoint(group, sync=True)
+    sls.checkpoint(group, sync=True)
+    rows = sls.ps()
+    assert len(rows) == 1
+    assert rows[0]["name"] == "server"
+    assert rows[0]["checkpoints"] == 2
+    assert rows[0]["attached"]
+
+
+def test_restore_unknown_group_fails(setup):
+    machine, sls, proc = setup
+    with pytest.raises(NoSuchCheckpoint):
+        sls.restore(999)
+
+
+def test_mem_checkpoint_flushes_nothing(setup):
+    machine, sls, proc = setup
+    addr = proc.vmspace.mmap(16 * PAGE_SIZE, name="heap")
+    proc.vmspace.touch(addr, 16, seed=1)
+    group = sls.attach(proc, periodic=False)
+    written_before = machine.storage.bytes_written
+    res = sls.checkpoint(group, mode="mem")
+    assert res.info is None
+    assert res.stop_ns > 0
+    assert machine.storage.bytes_written == written_before
+
+
+def test_stop_time_excludes_flush(setup):
+    """Continuous checkpointing: the stop time is orders of magnitude
+    below the IO time of the flush it kicks off."""
+    machine, sls, proc = setup
+    addr = proc.vmspace.mmap(4096 * PAGE_SIZE, name="heap")  # 16 MiB
+    proc.vmspace.fill(addr, 4096, seed=0)
+    group = sls.attach(proc, periodic=False)
+    res = sls.checkpoint(group)
+    t_after_stop = machine.clock.now()
+    machine.loop.drain()
+    flush_time = machine.clock.now() - t_after_stop
+    assert res.stop_ns < flush_time
+    assert res.stop_ns < 1 * MSEC
+
+
+def test_restored_group_keeps_checkpointing(setup):
+    machine, sls, proc = setup
+    addr = proc.vmspace.mmap(4 * PAGE_SIZE, name="heap")
+    group = sls.attach(proc, periodic=False)
+    gid = group.group_id
+    sls.checkpoint(group, sync=True)
+    machine.crash()
+    machine.boot()
+    sls2 = load_aurora(machine)
+    result = sls2.restore(gid)  # periodic by default
+    result.root.vmspace.write(addr, b"new work")
+    machine.run_for(50 * MSEC)
+    assert result.group.stats["checkpoints"] >= 3
+
+
+def test_consistency_group_atomicity(setup):
+    """Processes in one group always restore to the same instant: a
+    message passed between them is never seen by one and unsent by
+    the other."""
+    machine, sls, proc = setup
+    kernel = machine.kernel
+    rfd, wfd = kernel.pipe(proc)
+    group = sls.attach(proc, periodic=False)
+    child = kernel.fork(proc)
+
+    kernel.write(proc, wfd, b"msg-1")
+    sls.checkpoint(group, sync=True)
+    # After the checkpoint: child consumes the message and replies.
+    assert kernel.read(child, rfd, 5) == b"msg-1"
+    gid = group.group_id
+    machine.crash()
+    machine.boot()
+    sls2 = load_aurora(machine)
+    result = sls2.restore(gid)
+    by_name = {p.name: p for p in result.processes}
+    # The whole group rolled back: the message is unconsumed.
+    assert machine.kernel.read(by_name["app-child"], rfd, 5) == b"msg-1"

@@ -1,0 +1,114 @@
+"""Signal routing through virtualized PIDs after restore (§5.3).
+
+"PIDs are used to route signals to processes, e.g., from a parent to
+a child.  Not restoring the PID would lead to a failure to deliver
+the signal."  These tests force PID conflicts at restore time and
+verify that applications signalling by their checkpoint-time IDs
+still reach the right processes.
+"""
+
+import pytest
+
+from repro import Machine, load_aurora
+from repro.errors import NoSuchProcess
+from repro.kernel.proc.signals import SIGTERM, SIGUSR1
+from repro.units import PAGE_SIZE
+
+
+def _restore_with_conflicts(machine, sls, group, squat_pids):
+    gid = group.group_id
+    sls.checkpoint(group, sync=True)
+    machine.crash()
+    machine.boot()
+    sls2 = load_aurora(machine)
+    for pid in squat_pids:
+        machine.kernel.spawn(f"squatter{pid}", pid=pid)
+    return sls2, sls2.restore(gid, periodic=False)
+
+
+def test_kill_by_checkpoint_time_pid_after_conflict():
+    machine = Machine()
+    sls = load_aurora(machine)
+    kernel = machine.kernel
+    parent = kernel.spawn("parent")
+    group = sls.attach(parent, periodic=False)
+    child = kernel.fork(parent, name="child")
+    child_local_pid = child.pid
+
+    sls2, result = _restore_with_conflicts(machine, sls, group,
+                                           squat_pids=[child_local_pid])
+    by_name = {p.name: p for p in result.processes}
+    parent2, child2 = by_name["parent"], by_name["child"]
+    assert child2.pid != child_local_pid          # conflict: remapped
+    assert child2.local_pid == child_local_pid    # app-visible id kept
+
+    # The parent signals its child by the pid it has always known.
+    machine.kernel.kill(parent2, child_local_pid, SIGUSR1)
+    assert SIGUSR1 in child2.main_thread.signals.pending
+    # The squatter did NOT receive it.
+    squatter = machine.kernel.process(child_local_pid)
+    assert SIGUSR1 not in squatter.main_thread.signals.pending
+
+
+def test_kill_without_group_uses_global_pids():
+    machine = Machine()
+    kernel = machine.kernel
+    a = kernel.spawn("a")
+    b = kernel.spawn("b")
+    kernel.kill(a, b.pid, SIGTERM)
+    assert SIGTERM in b.main_thread.signals.pending
+
+
+def test_kill_process_group_by_local_pgid():
+    machine = Machine()
+    kernel = machine.kernel
+    leader = kernel.spawn("leader")
+    member = kernel.fork(leader)
+    kernel.kill(leader, -leader.pgroup.pgid, SIGUSR1)
+    assert SIGUSR1 in leader.main_thread.signals.pending
+    assert SIGUSR1 in member.main_thread.signals.pending
+
+
+def test_waitpid_with_virtualized_pid():
+    machine = Machine()
+    sls = load_aurora(machine)
+    kernel = machine.kernel
+    parent = kernel.spawn("parent")
+    group = sls.attach(parent, periodic=False)
+    child = kernel.fork(parent, name="worker")
+    child_local = child.pid
+
+    sls2, result = _restore_with_conflicts(machine, sls, group,
+                                           squat_pids=[child_local])
+    by_name = {p.name: p for p in result.processes}
+    parent2, child2 = by_name["parent"], by_name["worker"]
+    child2.exit(7)
+    local_pid, status = machine.kernel.waitpid(parent2, child_local)
+    assert local_pid == child_local
+    assert status == 7
+
+
+def test_waitpid_no_zombie_raises():
+    machine = Machine()
+    kernel = machine.kernel
+    parent = kernel.spawn("p")
+    kernel.fork(parent)  # still running
+    with pytest.raises(NoSuchProcess):
+        kernel.waitpid(parent, 99999)
+
+
+def test_restored_tree_signals_flow_parent_to_grandchild():
+    machine = Machine()
+    sls = load_aurora(machine)
+    kernel = machine.kernel
+    root = kernel.spawn("root-proc")
+    group = sls.attach(root, periodic=False)
+    mid = kernel.fork(root, name="mid")
+    leaf = kernel.fork(mid, name="leaf")
+    leaf_local = leaf.pid
+
+    sls2, result = _restore_with_conflicts(machine, sls, group,
+                                           squat_pids=[leaf_local])
+    by_name = {p.name: p for p in result.processes}
+    machine.kernel.kill(by_name["mid"], leaf_local, SIGTERM)
+    assert SIGTERM in by_name["leaf"].main_thread.signals.pending

@@ -1,0 +1,206 @@
+"""Processes, threads, signals, sessions, PID virtualization."""
+
+import pytest
+
+from repro.errors import InvalidArgument, NoSuchProcess
+from repro.kernel.proc.pid import IDVirtualization, PIDAllocator
+from repro.kernel.proc.signals import (SIGCHLD, SIGCONT, SIGKILL, SIGSTOP,
+                                       SIGTERM, SIGUSR1, SignalState)
+from repro.kernel.proc.thread import (AT_BOUNDARY, IN_SYSCALL,
+                                      IN_SYSCALL_SLEEPING, IN_USER)
+from repro.machine import Machine
+
+
+@pytest.fixture
+def kernel():
+    return Machine().kernel
+
+
+def test_spawn_builds_tree(kernel):
+    parent = kernel.spawn("parent")
+    child = kernel.fork(parent, name="child")
+    grandchild = kernel.fork(child)
+    assert child.parent is parent
+    assert grandchild in child.children
+    assert [p.name for p in parent.tree()] == ["parent", "child",
+                                               "proc" + str(grandchild.pid)
+                                               if False else grandchild.name]
+
+
+def test_fork_inherits_pgroup_and_cwd(kernel):
+    parent = kernel.spawn("p")
+    parent.cwd = "/work"
+    child = kernel.fork(parent)
+    assert child.pgroup is parent.pgroup
+    assert child.cwd == "/work"
+
+
+def test_exit_and_reap(kernel):
+    parent = kernel.spawn("p")
+    child = kernel.fork(parent)
+    child.exit(3)
+    assert child.state == "zombie"
+    # Parent got SIGCHLD.
+    assert SIGCHLD in parent.main_thread.signals.pending
+    status = parent.reap(child)
+    assert status == 3
+    assert child not in parent.children
+
+
+def test_reap_running_child_fails(kernel):
+    parent = kernel.spawn("p")
+    child = kernel.fork(parent)
+    with pytest.raises(InvalidArgument):
+        parent.reap(child)
+
+
+def test_orphans_reparented_to_init(kernel):
+    parent = kernel.spawn("p")
+    child = kernel.fork(parent)
+    grandchild = kernel.fork(child)
+    child.exit(0)
+    assert grandchild.parent is kernel.initproc
+
+
+def test_sigkill_terminates(kernel):
+    proc = kernel.spawn("victim")
+    proc.post_signal(SIGKILL)
+    assert proc.state == "zombie"
+    assert proc.exit_status == -SIGKILL
+
+
+def test_sigstop_sigcont(kernel):
+    proc = kernel.spawn("p")
+    proc.post_signal(SIGSTOP)
+    assert proc.state == "stopped"
+    proc.post_signal(SIGCONT)
+    assert proc.state == "running"
+
+
+def test_signal_mask_blocks_delivery():
+    state = SignalState()
+    delivered = []
+    state.handlers[SIGUSR1] = delivered.append
+    state.block(SIGUSR1)
+    state.post(SIGUSR1)
+    assert state.dispatch() == []
+    state.unblock(SIGUSR1)
+    assert state.dispatch() == [SIGUSR1]
+    assert delivered == [SIGUSR1]
+
+
+def test_sigkill_unmaskable():
+    state = SignalState()
+    state.block(SIGKILL)
+    assert SIGKILL not in state.mask
+
+
+def test_signal_state_snapshot_round_trip():
+    state = SignalState()
+    state.block(SIGTERM)
+    state.post(SIGUSR1)
+    snap = state.snapshot()
+    fresh = SignalState()
+    fresh.restore(snap)
+    assert fresh.mask == {SIGTERM}
+    assert fresh.pending == [SIGUSR1]
+
+
+def test_pgroup_signal_all(kernel):
+    leader = kernel.spawn("leader")
+    member = kernel.fork(leader)
+    count = leader.pgroup.signal_all(SIGTERM)
+    assert count == 2
+    assert SIGTERM in member.main_thread.signals.pending
+
+
+# -- threads and the syscall boundary -----------------------------------------------------
+
+
+def test_thread_syscall_transitions(kernel):
+    proc = kernel.spawn("p")
+    thread = proc.main_thread
+    assert thread.location == IN_USER
+    thread.enter_syscall("read")
+    assert thread.location == IN_SYSCALL
+    thread.leave_syscall()
+    assert thread.location == IN_USER
+
+
+def test_sleeping_syscall_restart_rewinds_pc(kernel):
+    proc = kernel.spawn("p")
+    thread = proc.main_thread
+    thread.cpu_state.regs["rip"] = 0x1000
+    thread.enter_syscall("nanosleep", sleeping=True)
+    thread.park_at_boundary()
+    assert thread.location == AT_BOUNDARY
+    assert thread.cpu_state.regs["rip"] == 0x1000 - 2
+    assert thread.syscall_restarted
+    thread.resume()
+    assert thread.location == IN_USER
+    assert not thread.syscall_restarted
+
+
+def test_cpu_state_snapshot_round_trip(kernel):
+    proc = kernel.spawn("p")
+    thread = proc.main_thread
+    thread.cpu_state.regs["rax"] = 42
+    thread.cpu_state.fpu = b"\x01" * 64
+    snap = thread.cpu_state.snapshot()
+    other = kernel.spawn("q").main_thread
+    other.cpu_state.restore(snap)
+    assert other.cpu_state.regs["rax"] == 42
+    assert other.cpu_state.fpu == b"\x01" * 64
+
+
+def test_multithreaded_process(kernel):
+    proc = kernel.spawn("mt")
+    t2 = proc.add_thread()
+    t3 = proc.add_thread()
+    assert len(proc.threads) == 3
+    assert len({t.tid for t in proc.threads}) == 3
+    proc.exit(0)
+    assert proc.threads == []
+
+
+# -- ID allocation and virtualization ------------------------------------------------------
+
+
+def test_pid_allocator_unique():
+    alloc = PIDAllocator()
+    pids = {alloc.allocate() for _ in range(100)}
+    assert len(pids) == 100
+
+
+def test_pid_reserve_and_release():
+    alloc = PIDAllocator()
+    assert alloc.reserve(500)
+    assert not alloc.reserve(500)
+    alloc.release(500)
+    assert alloc.reserve(500)
+
+
+def test_id_virtualization_bidirectional():
+    idmap = IDVirtualization()
+    idmap.bind(100, 2345)
+    assert idmap.to_global(100) == 2345
+    assert idmap.to_local(2345) == 100
+    # Unbound ids pass through.
+    assert idmap.to_global(7) == 7
+    assert idmap.to_local(7) == 7
+
+
+def test_id_virtualization_rejects_double_bind():
+    idmap = IDVirtualization()
+    idmap.bind(100, 2345)
+    with pytest.raises(InvalidArgument):
+        idmap.bind(100, 9999)
+    with pytest.raises(InvalidArgument):
+        idmap.bind(7, 2345)
+
+
+def test_process_lookup(kernel):
+    proc = kernel.spawn("findme")
+    assert kernel.process(proc.pid) is proc
+    with pytest.raises(NoSuchProcess):
+        kernel.process(54321)

@@ -1,0 +1,124 @@
+"""Restore edge cases: resource conflicts, unmapped regions, lazy
+interactions, double incarnations."""
+
+import pytest
+
+from repro import Machine, load_aurora
+from repro.errors import AddressInUse
+from repro.kernel.net.tcp import TCPSocket
+from repro.units import MSEC, PAGE_SIZE
+
+
+@pytest.fixture
+def setup():
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("app")
+    group = sls.attach(proc, periodic=False)
+    return machine, sls, proc, group
+
+
+def _crash_reboot(machine):
+    machine.crash()
+    machine.boot()
+    return load_aurora(machine)
+
+
+def test_restore_conflicting_port_surfaces_address_in_use(setup):
+    machine, sls, proc, group = setup
+    kernel = machine.kernel
+    fd = kernel.tcp_socket(proc)
+    sock = kernel.sock_of(proc, fd)
+    sock.bind("10.0.0.1", 8080)
+    sock.listen()
+    sls.checkpoint(group, sync=True)
+    gid = group.group_id
+    sls2 = _crash_reboot(machine)
+    # Someone else grabbed the port before the restore.
+    squatter = TCPSocket(machine.kernel)
+    squatter.bind("10.0.0.1", 8080)
+    with pytest.raises(AddressInUse):
+        sls2.restore(gid)
+
+
+def test_munmapped_region_absent_after_restore(setup):
+    machine, sls, proc, group = setup
+    keep = proc.vmspace.mmap(4 * PAGE_SIZE, name="keep")
+    scratch = proc.vmspace.mmap(4 * PAGE_SIZE, name="scratch")
+    proc.vmspace.write(keep, b"keep")
+    proc.vmspace.write(scratch, b"scratch")
+    sls.checkpoint(group, sync=True)
+    proc.vmspace.munmap(scratch, 4 * PAGE_SIZE)
+    sls.checkpoint(group, sync=True)
+    gid = group.group_id
+    sls2 = _crash_reboot(machine)
+    result = sls2.restore(gid)
+    assert result.root.vmspace.read(keep, 4) == b"keep"
+    from repro.errors import SegmentationFault
+    with pytest.raises(SegmentationFault):
+        result.root.vmspace.read(scratch, 1)
+
+
+def test_lazy_restore_then_immediate_checkpoint(setup):
+    machine, sls, proc, group = setup
+    addr = proc.vmspace.mmap(64 * PAGE_SIZE, name="heap")
+    proc.vmspace.fill(addr, 64, seed=1)
+    proc.vmspace.write(addr, b"lazy then ckpt")
+    sls.checkpoint(group, sync=True)
+    gid = group.group_id
+    sls2 = _crash_reboot(machine)
+    result = sls2.restore(gid, lazy=True)
+    # Checkpoint the lazily restored app before touching anything.
+    res = sls2.checkpoint(result.group, sync=True)
+    assert res.info.complete
+    # And the content remains reachable afterwards.
+    assert result.root.vmspace.read(addr, 14) == b"lazy then ckpt"
+
+
+def test_second_incarnation_after_detach(setup):
+    machine, sls, proc, group = setup
+    addr = proc.vmspace.mmap(4 * PAGE_SIZE, name="heap")
+    proc.vmspace.write(addr, b"v1")
+    sls.checkpoint(group, sync=True)
+    gid = group.group_id
+    sls2 = _crash_reboot(machine)
+    first = sls2.restore(gid, periodic=False)
+    # Retire the first incarnation, then restore again.
+    sls2.detach(first.group)
+    for p in list(first.processes):
+        p.exit(0)
+    second = sls2.restore(gid, periodic=False)
+    assert second.root.vmspace.read(addr, 2) == b"v1"
+    assert second.root.pid != first.root.pid  # distinct global pids
+    assert second.root.local_pid == first.root.local_pid
+
+
+def test_restore_after_detach_keeps_history(setup):
+    machine, sls, proc, group = setup
+    addr = proc.vmspace.mmap(4 * PAGE_SIZE, name="heap")
+    proc.vmspace.write(addr, b"before-detach")
+    sls.checkpoint(group, sync=True)
+    gid = group.group_id
+    sls.detach(group)
+    # Detach stops persistence but the history stays restorable.
+    assert gid in sls.restorable_groups()
+    result = sls.restore(gid, periodic=False)
+    assert result.root.vmspace.read(addr, 13) == b"before-detach"
+
+
+def test_suspend_resume_suspend_cycle(setup):
+    machine, sls, proc, group = setup
+    addr = proc.vmspace.mmap(4 * PAGE_SIZE, name="heap")
+    gid = group.group_id
+    for round_no in range(3):
+        current = sls.groups.get(gid)
+        if current is None:
+            result = sls.resume(gid)
+            current = result.group
+            root = result.root
+        else:
+            root = proc
+        root.vmspace.write(addr, f"round-{round_no}".encode())
+        sls.suspend(current)
+    result = sls.resume(gid)
+    assert result.root.vmspace.read(addr, 7) == b"round-2"

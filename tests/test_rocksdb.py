@@ -1,0 +1,262 @@
+"""The RocksDB implementation: skiplist, WAL, SSTables, compaction,
+the full DB, and the Aurora port."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine, load_aurora
+from repro.apps.rocksdb.compaction import merge_entries
+from repro.apps.rocksdb.db import DBOptions, RocksDB
+from repro.apps.rocksdb.aurora_db import AuroraRocksDB
+from repro.apps.rocksdb.memtable import MemTable, SkipList
+from repro.apps.rocksdb.sstable import BloomFilter, SSTable
+from repro.apps.rocksdb.wal import decode_records, encode_record
+from repro.core.api import AuroraAPI
+from repro.slsfs.kernel_fs import mount_ffs
+from repro.units import KiB, MiB
+
+
+# -- skiplist ------------------------------------------------------------------
+
+
+def test_skiplist_sorted_iteration():
+    sl = SkipList(seed=1)
+    keys = [f"k{i:04d}".encode() for i in (5, 1, 9, 3, 7)]
+    for key in keys:
+        sl.insert(key, key + b"-v")
+    assert [k for k, _v in sl] == sorted(keys)
+    assert len(sl) == 5
+
+
+def test_skiplist_update_in_place():
+    sl = SkipList()
+    assert sl.insert(b"a", 1)
+    assert not sl.insert(b"a", 2)
+    assert sl.get(b"a") == 2
+    assert len(sl) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.binary(min_size=1, max_size=12),
+                       st.binary(max_size=12), max_size=64))
+def test_skiplist_matches_dict(model):
+    sl = SkipList(seed=3)
+    for key, value in model.items():
+        sl.insert(key, value)
+    for key, value in model.items():
+        assert sl.get(key) == value
+    assert [k for k, _v in sl] == sorted(model)
+
+
+def test_memtable_tombstones():
+    mt = MemTable()
+    mt.put(b"k", b"v")
+    mt.delete(b"k")
+    found, value = mt.get(b"k")
+    assert found and value is None
+    assert list(mt.entries()) == [(b"k", None)]
+
+
+# -- WAL ------------------------------------------------------------------------------
+
+
+def test_wal_record_round_trip():
+    blob = encode_record(b"key", b"value") + encode_record(b"k2", b"v2")
+    assert decode_records(blob) == [(b"key", b"value"), (b"k2", b"v2")]
+
+
+def test_wal_replay_stops_at_torn_record():
+    blob = encode_record(b"good", b"record")
+    torn = encode_record(b"torn", b"record")[:-3]
+    assert decode_records(blob + torn) == [(b"good", b"record")]
+
+
+def test_wal_corrupt_crc_detected():
+    blob = bytearray(encode_record(b"k", b"v"))
+    blob[-1] ^= 0xFF
+    assert decode_records(bytes(blob)) == []
+
+
+# -- bloom filter / sstable ----------------------------------------------------------------
+
+
+def test_bloom_no_false_negatives():
+    bloom = BloomFilter(100)
+    keys = [f"key-{i}".encode() for i in range(100)]
+    for key in keys:
+        bloom.add(key)
+    assert all(bloom.maybe_contains(k) for k in keys)
+
+
+def test_bloom_rejects_most_absent_keys():
+    bloom = BloomFilter(100)
+    for i in range(100):
+        bloom.add(f"key-{i}".encode())
+    false_positives = sum(
+        bloom.maybe_contains(f"other-{i}".encode()) for i in range(1000))
+    assert false_positives < 50  # ~1% expected at 10 bits/key
+
+
+@pytest.fixture
+def kernel_proc():
+    machine = Machine()
+    proc = machine.kernel.spawn("db")
+    return machine.kernel, proc
+
+
+def test_sstable_build_and_get(kernel_proc):
+    kernel, proc = kernel_proc
+    entries = [(f"k{i:05d}".encode(), f"value-{i}".encode() * 10)
+               for i in range(500)]
+    table = SSTable.build(kernel, proc, "/t1.sst", entries)
+    assert table.get(b"k00007") == (True, b"value-7" * 10)
+    assert table.get(b"k00499")[0]
+    assert table.get(b"nope") == (False, None)
+    assert table.nkeys == 500
+
+
+def test_sstable_reopen(kernel_proc):
+    kernel, proc = kernel_proc
+    entries = [(f"k{i:03d}".encode(), b"v" * 20) for i in range(100)]
+    SSTable.build(kernel, proc, "/t2.sst", entries)
+    reopened = SSTable.open(kernel, proc, "/t2.sst")
+    assert reopened.get(b"k050") == (True, b"v" * 20)
+    assert reopened.smallest == b"k000"
+    assert reopened.largest == b"k099"
+
+
+def test_merge_entries_newest_wins_and_drops_tombstones():
+    newer = [(b"a", b"new"), (b"b", None)]
+    older = [(b"a", b"old"), (b"b", b"old"), (b"c", b"keep")]
+    merged = merge_entries([newer, older], drop_tombstones=True)
+    assert merged == [(b"a", b"new"), (b"c", b"keep")]
+    kept = merge_entries([newer, older], drop_tombstones=False)
+    assert kept == [(b"a", b"new"), (b"b", None), (b"c", b"keep")]
+
+
+# -- the full DB ------------------------------------------------------------------------------
+
+
+def make_db(memtable_bytes=64 * KiB, wal=True, sync=False):
+    machine = Machine()
+    mount_ffs(machine)
+    proc = machine.kernel.spawn("rocksdb")
+    db = RocksDB(machine.kernel, proc,
+                 options=DBOptions(wal=wal, sync=sync,
+                                   memtable_bytes=memtable_bytes))
+    return machine, db
+
+
+def test_db_put_get_delete():
+    _machine, db = make_db()
+    db.put(b"alpha", b"1")
+    db.put(b"beta", b"2")
+    assert db.get(b"alpha") == b"1"
+    db.delete(b"alpha")
+    assert db.get(b"alpha") is None
+    assert db.get(b"beta") == b"2"
+
+
+def test_db_flush_and_read_from_sstable():
+    _machine, db = make_db(memtable_bytes=8 * KiB)
+    for i in range(200):
+        db.put(f"k{i:04d}".encode(), b"v" * 50)
+    assert db.stats["flushes"] > 0
+    for i in range(0, 200, 17):
+        assert db.get(f"k{i:04d}".encode()) == b"v" * 50
+
+
+def test_db_compaction_triggered():
+    _machine, db = make_db(memtable_bytes=8 * KiB)
+    for i in range(1200):
+        db.put(f"k{i % 300:04d}".encode(), f"v{i}".encode() * 10)
+    assert db.levels.compactions > 0
+    # Newest value for every key survives compaction.
+    assert db.get(b"k0299") is not None
+
+
+def test_db_wal_recovery_after_crash():
+    machine, db = make_db(sync=True)
+    for i in range(40):
+        db.put(f"key{i}".encode(), f"val{i}".encode())
+    db.wal.flush()
+    # "Crash": rebuild from the WAL alone.
+    proc2 = machine.kernel.spawn("recovered")
+    db2 = RocksDB(machine.kernel, proc2, directory="/rocksdb2",
+                  options=DBOptions(wal=True))
+    db2.wal = db.wal  # same log file
+    assert db2.recover() == 40
+    assert db2.get(b"key17") == b"val17"
+
+
+def test_db_sync_writes_slower_than_buffered():
+    machine_a, db_a = make_db(sync=False)
+    for i in range(100):
+        db_a.put(f"k{i}".encode(), b"v" * 64)
+    buffered = machine_a.clock.now()
+
+    machine_b, db_b = make_db(sync=True)
+    for i in range(100):
+        db_b.put(f"k{i}".encode(), b"v" * 64)
+    synced = machine_b.clock.now()
+    assert synced > buffered
+
+
+# -- the Aurora port -----------------------------------------------------------------------------
+
+
+def make_aurora_db(journal_bytes=1 * MiB):
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("rocksdb-aurora")
+    group = sls.attach(proc, periodic=False)
+    api = AuroraAPI(sls, proc)
+    db = AuroraRocksDB(machine.kernel, proc, api,
+                       journal_bytes=journal_bytes)
+    return machine, sls, group, db
+
+
+def test_aurora_db_put_get():
+    _machine, _sls, _group, db = make_aurora_db()
+    db.put(b"k", b"v")
+    assert db.get(b"k") == b"v"
+
+
+def test_aurora_db_journal_fills_then_checkpoints():
+    machine, sls, group, db = make_aurora_db(journal_bytes=256 * KiB)
+    for i in range(3000):
+        db.put(f"key{i:06d}".encode(), b"x" * 100)
+    db.flush()
+    assert db.stats["checkpoints"] >= 1
+    assert db.stats["journal_appends"] > 0
+
+
+def test_aurora_db_crash_recovery_via_journal():
+    """The port's durability story: checkpoint + journal tail."""
+    machine, sls, group, db = make_aurora_db()
+    for i in range(64):
+        db.put(f"key{i:03d}".encode(), f"val{i}".encode())
+    db.flush()  # group-commits the tail into the journal
+    jid = db.journal.jid
+    gid = group.group_id
+    sls.checkpoint(group, sync=True)
+
+    # More writes after the checkpoint, journaled but not checkpointed.
+    for i in range(64, 96):
+        db.put(f"key{i:03d}".encode(), f"val{i}".encode())
+    db.flush()
+    machine.crash()
+    machine.boot()
+
+    sls2 = load_aurora(machine)
+    result = sls2.restore(gid)
+    proc2 = result.root
+    api2 = AuroraAPI(sls2, proc2)
+    journal2 = sls2.store.journal(jid)
+    # The restored memory holds the memtable up to the checkpoint; the
+    # journal replay brings back everything after it.
+    recovered = AuroraRocksDB.recover(machine.kernel, proc2, api2,
+                                      journal2)
+    assert recovered.get(b"key095") == b"val95"
+    assert recovered.get(b"key010") == b"val10"

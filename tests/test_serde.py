@@ -1,0 +1,112 @@
+"""The TLV record format: round trips, determinism, corruption."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serde
+from repro.errors import CorruptRecord
+
+
+def test_scalar_round_trips():
+    for value in (None, True, False, 0, 1, -1, 2 ** 80, -(2 ** 80),
+                  b"", b"bytes", "", "text", "uniçode"):
+        assert serde.loads(serde.dumps(value)) == value
+
+
+def test_container_round_trips():
+    value = {"a": [1, 2, {"nested": b"x"}], "b": None, "c": [True, -5]}
+    assert serde.loads(serde.dumps(value)) == value
+
+
+def test_tuple_decodes_as_list():
+    assert serde.loads(serde.dumps((1, 2))) == [1, 2]
+
+
+def test_bytearray_decodes_as_bytes():
+    assert serde.loads(serde.dumps(bytearray(b"xy"))) == b"xy"
+
+
+def test_dict_keys_sorted_for_determinism():
+    a = serde.dumps({"x": 1, "y": 2})
+    b = serde.dumps({"y": 2, "x": 1})
+    assert a == b
+
+
+def test_non_string_dict_key_rejected():
+    with pytest.raises(TypeError):
+        serde.dumps({1: "x"})
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(TypeError):
+        serde.dumps(3.14)
+
+
+def test_corrupt_magic():
+    data = bytearray(serde.dumps([1]))
+    data[0] ^= 0xFF
+    with pytest.raises(CorruptRecord):
+        serde.loads(bytes(data))
+
+
+def test_corrupt_body_checksum():
+    data = bytearray(serde.dumps({"key": b"payload-bytes"}))
+    data[-1] ^= 0x01
+    with pytest.raises(CorruptRecord):
+        serde.loads(bytes(data))
+
+
+def test_truncated_record():
+    data = serde.dumps([1, 2, 3])
+    with pytest.raises(CorruptRecord):
+        serde.loads(data[:len(data) - 4])
+
+
+def test_short_header_rejected():
+    with pytest.raises(CorruptRecord):
+        serde.loads(b"ATLV")
+
+
+json_like = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(json_like)
+def test_round_trip_property(value):
+    def normalize(v):
+        if isinstance(v, tuple):
+            return [normalize(x) for x in v]
+        if isinstance(v, list):
+            return [normalize(x) for x in v]
+        if isinstance(v, dict):
+            return {k: normalize(x) for k, x in v.items()}
+        return v
+
+    assert serde.loads(serde.dumps(value)) == normalize(value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(json_like, st.integers(min_value=0, max_value=200),
+       st.integers(min_value=1, max_value=255))
+def test_single_byte_corruption_never_misdecodes(value, pos, flip):
+    """Flipping any body byte must raise, never return wrong data."""
+    data = bytearray(serde.dumps(value))
+    header = len(serde.MAGIC) + 1 + 16
+    if len(data) <= header:
+        return
+    index = header + (pos % (len(data) - header))
+    data[index] ^= flip
+    try:
+        decoded = serde.loads(bytes(data))
+    except CorruptRecord:
+        return
+    # CRC32 has collisions in theory; equality is the only acceptable
+    # non-raising outcome.
+    assert decoded == serde.loads(serde.dumps(value))

@@ -1,0 +1,113 @@
+"""The Aurora filesystem: persistence, fsync no-op, anonymous files."""
+
+import pytest
+
+from repro import Machine, load_aurora
+from repro.core import costs
+from repro.kernel.fs.file import O_CREAT, O_RDWR
+from repro.units import USEC
+
+
+@pytest.fixture
+def setup():
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("app")
+    return machine, sls, proc
+
+
+def _reboot_with_aurora(machine):
+    machine.crash()
+    machine.boot()
+    return load_aurora(machine)
+
+
+def test_files_survive_crash(setup):
+    machine, sls, proc = setup
+    kernel = machine.kernel
+    fd = kernel.open(proc, "/persistent", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"do not lose me")
+    sls.slsfs.checkpoint(sync=True)
+    _reboot_with_aurora(machine)
+    kernel2 = machine.kernel
+    proc2 = kernel2.spawn("reader")
+    fd2 = kernel2.open(proc2, "/persistent", O_RDWR)
+    assert kernel2.read(proc2, fd2, 14) == b"do not lose me"
+
+
+def test_directories_survive_crash(setup):
+    machine, sls, proc = setup
+    kernel = machine.kernel
+    kernel.mkdir(proc, "/a")
+    kernel.mkdir(proc, "/a/b")
+    kernel.open(proc, "/a/b/c", O_CREAT)
+    sls.slsfs.checkpoint(sync=True)
+    _reboot_with_aurora(machine)
+    assert machine.kernel.vfs.listdir("/a/b") == ["c"]
+
+
+def test_uncheckpointed_writes_lost_on_crash(setup):
+    machine, sls, proc = setup
+    kernel = machine.kernel
+    fd = kernel.open(proc, "/f", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"v1")
+    sls.slsfs.checkpoint(sync=True)
+    kernel.write(proc, fd, b"v2")  # never checkpointed
+    _reboot_with_aurora(machine)
+    proc2 = machine.kernel.spawn("r")
+    fd2 = machine.kernel.open(proc2, "/f", O_RDWR)
+    assert machine.kernel.read(proc2, fd2, 2) == b"v1"
+
+
+def test_fsync_is_a_noop(setup):
+    """Checkpoint consistency: fsync costs sub-microsecond (§9.1)."""
+    machine, sls, proc = setup
+    kernel = machine.kernel
+    fd = kernel.open(proc, "/f", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"data")
+    before = machine.clock.now()
+    kernel.fsync(proc, fd)
+    elapsed = machine.clock.now() - before
+    assert elapsed <= costs.SLSFS_FSYNC + costs.SYSCALL_OVERHEAD
+
+
+def test_anonymous_file_survives_crash_via_hidden_link_count(setup):
+    """The paper's §5.2 edge case: an open-but-unlinked file must be
+    restorable after a crash."""
+    machine, sls, proc = setup
+    kernel = machine.kernel
+    fd = kernel.open(proc, "/scratch", O_CREAT | O_RDWR)
+    kernel.write(proc, fd, b"anon state")
+    group = sls.attach(proc, periodic=False)
+    kernel.unlink(proc, "/scratch")
+    sls.checkpoint(group, sync=True)
+    gid = group.group_id
+
+    sls2 = _reboot_with_aurora(machine)
+    result = sls2.restore(gid)
+    proc2 = result.root
+    machine.kernel.lseek(proc2, fd, 0)
+    assert machine.kernel.read(proc2, fd, 10) == b"anon state"
+    # And it is still invisible in the namespace.
+    assert not machine.kernel.vfs.exists("/scratch")
+
+
+def test_incremental_fs_checkpoints_only_flush_dirty(setup):
+    machine, sls, proc = setup
+    kernel = machine.kernel
+    fd = kernel.open(proc, "/big", O_CREAT | O_RDWR)
+    vnode = proc.fdtable.get(fd).vnode
+    vnode.write_synthetic(0, 64 * 4096, seed=1)
+    info1 = sls.slsfs.checkpoint(sync=True)
+    # Touch one page only.
+    vnode.write_synthetic(0, 4096, seed=2)
+    info2 = sls.slsfs.checkpoint(sync=True)
+    assert info2.data_bytes < info1.data_bytes
+
+
+def test_file_creation_charges_global_lock(setup):
+    machine, sls, proc = setup
+    before = machine.clock.now()
+    machine.kernel.open(proc, "/newfile", O_CREAT)
+    elapsed = machine.clock.now() - before
+    assert elapsed >= costs.SLSFS_CREATE_GLOBAL_LOCK

@@ -1,0 +1,119 @@
+"""Socket syscall plumbing, transparent external synchrony, and
+bounded execution history."""
+
+import pytest
+
+from repro import Machine, load_aurora
+from repro.units import MSEC, PAGE_SIZE
+
+
+@pytest.fixture
+def setup():
+    machine = Machine()
+    sls = load_aurora(machine)
+    return machine, sls
+
+
+def _tcp_pair(kernel, proc, port=7000):
+    sfd = kernel.tcp_socket(proc)
+    server = kernel.sock_of(proc, sfd)
+    server.bind("10.0.0.1", port)
+    server.listen()
+    cfd = kernel.tcp_socket(proc)
+    kernel.sock_of(proc, cfd).connect("10.0.0.1", port)
+    afd = kernel.accept(proc, sfd)
+    return cfd, afd
+
+
+def test_socket_write_read_syscalls(setup):
+    machine, sls = setup
+    kernel = machine.kernel
+    proc = kernel.spawn("app")
+    cfd, afd = _tcp_pair(kernel, proc)
+    assert kernel.write(proc, cfd, b"over the wire") == 13
+    assert kernel.read(proc, afd, 13) == b"over the wire"
+
+
+def test_unix_socket_syscalls(setup):
+    machine, sls = setup
+    kernel = machine.kernel
+    proc = kernel.spawn("app")
+    lfd, rfd = kernel.socketpair(proc)
+    kernel.write(proc, lfd, b"dgram")
+    assert kernel.read(proc, rfd, 100) == b"dgram"
+
+
+def test_group_socket_sends_are_buffered_transparently(setup):
+    """A TCP send from an external-synchrony group is withheld until
+    the next checkpoint commits — with zero application changes."""
+    machine, sls = setup
+    kernel = machine.kernel
+    proc = kernel.spawn("server")
+    cfd, _afd = _tcp_pair(kernel, proc)
+    group = sls.attach(proc, periodic=False, external_synchrony=True)
+    kernel.write(proc, cfd, b"response")
+    assert sls.extsync.pending_for(group) == 1
+    sls.checkpoint(group, sync=True)
+    assert sls.extsync.pending_for(group) == 0
+    assert sls.extsync.stats["released"] == 1
+
+
+def test_fdctl_nosync_bypasses_transparent_buffering(setup):
+    machine, sls = setup
+    kernel = machine.kernel
+    proc = kernel.spawn("server")
+    cfd, _afd = _tcp_pair(kernel, proc)
+    group = sls.attach(proc, periodic=False, external_synchrony=True)
+    from repro.core.api import AuroraAPI
+    AuroraAPI(sls, proc).sls_fdctl(cfd, nosync=True)
+    kernel.write(proc, cfd, b"read-only reply")
+    assert sls.extsync.pending_for(group) == 0
+    assert sls.extsync.stats["bypassed"] == 1
+
+
+def test_non_extsync_group_sends_unbuffered(setup):
+    machine, sls = setup
+    kernel = machine.kernel
+    proc = kernel.spawn("server")
+    cfd, _afd = _tcp_pair(kernel, proc)
+    group = sls.attach(proc, periodic=False)  # default: off (§8)
+    kernel.write(proc, cfd, b"immediate")
+    assert sls.extsync.pending_for(group) == 0
+
+
+# -- bounded history --------------------------------------------------------------------
+
+
+def test_history_limit_trims_old_checkpoints(setup):
+    machine, sls = setup
+    proc = machine.kernel.spawn("app")
+    addr = proc.vmspace.mmap(4 * PAGE_SIZE, name="heap")
+    group = sls.attach(proc, periodic=False, history_limit=3)
+    for step in range(8):
+        proc.vmspace.write(addr, f"s{step}".encode())
+        sls.checkpoint(group, sync=True)
+    chain = sls.store.checkpoints_for(group.group_id,
+                                      include_partial=True)
+    assert len(chain) == 3
+    # The newest state is intact despite the trimming.
+    gid = group.group_id
+    machine.crash()
+    machine.boot()
+    sls2 = load_aurora(machine)
+    result = sls2.restore(gid)
+    assert result.root.vmspace.read(addr, 2) == b"s7"
+
+
+def test_history_limit_reclaims_space(setup):
+    machine, sls = setup
+    proc = machine.kernel.spawn("hog")
+    addr = proc.vmspace.mmap(512 * PAGE_SIZE, name="heap")
+    proc.vmspace.fill(addr, 512, seed=0)
+
+    unlimited = sls.attach(proc, periodic=False)
+    for step in range(6):
+        proc.vmspace.touch(addr, 256, seed=step)
+        sls.checkpoint(unlimited, sync=True)
+    unbounded_usage = sls.store.used_bytes()
+    sls.store.retain_last(unlimited.group_id, keep=1)
+    assert sls.store.used_bytes() < unbounded_usage

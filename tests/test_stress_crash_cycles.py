@@ -1,0 +1,142 @@
+"""Stress: a complex multiprocess application through repeated crash
+cycles — the closest thing to the paper's Firefox demo.
+
+One application with multiple processes, shared memory, pipes, files
+and sockets survives a sequence of crash/reboot/restore cycles, doing
+real work between each, without ever losing checkpointed state or
+corrupting sharing relationships.
+"""
+
+import pytest
+
+from repro import Machine, load_aurora
+from repro.core.api import AuroraAPI
+from repro.kernel.fs.file import O_CREAT, O_RDWR
+from repro.units import MSEC, PAGE_SIZE
+
+CYCLES = 5
+
+
+def build_app(kernel, sls):
+    """A browser-shaped app: parent + 2 workers, shm, pipe, log file."""
+    parent = kernel.spawn("browser")
+    heap = parent.vmspace.mmap(64 * PAGE_SIZE, name="heap")
+    shm_fd = kernel.shm_open(parent, "/render-buffer", 8 * PAGE_SIZE)
+    shm_addr = kernel.shm_mmap(parent, shm_fd)
+    log_fd = kernel.open(parent, "/browser.log", O_CREAT | O_RDWR)
+    rfd, wfd = kernel.pipe(parent)
+    group = sls.attach(parent, name="browser", periodic=False)
+    worker_a = kernel.fork(parent, name="render")
+    worker_b = kernel.fork(parent, name="network")
+    return {
+        "group": group, "parent": parent,
+        "workers": [worker_a, worker_b],
+        "heap": heap, "shm": shm_addr,
+        "log_fd": log_fd, "rfd": rfd, "wfd": wfd,
+    }
+
+
+def do_work(kernel, app, cycle):
+    parent = app["parent"]
+    render, network = app["workers"]
+    # Parent updates its heap state.
+    parent.vmspace.write(app["heap"], f"cycle-{cycle}".encode())
+    # The render worker paints into shared memory...
+    render.vmspace.write(app["shm"], f"frame-{cycle}".encode())
+    # ...which the parent observes (live sharing).
+    assert parent.vmspace.read(app["shm"], 7) == f"frame-{cycle}"[:7].encode()
+    # The network worker reports over the pipe.
+    kernel.write(network, app["wfd"], f"fetched-{cycle};".encode())
+    # The parent logs to the Aurora FS.
+    kernel.write(parent, app["log_fd"], f"log-{cycle}\n".encode())
+
+
+def test_complex_app_survives_repeated_crash_cycles():
+    machine = Machine()
+    sls = load_aurora(machine)
+    kernel = machine.kernel
+    app = build_app(kernel, sls)
+    gid = app["group"].group_id
+
+    pipe_log = ""
+    for cycle in range(CYCLES):
+        do_work(kernel, app, cycle)
+        pipe_log += f"fetched-{cycle};"
+        sls.checkpoint(app["group"], sync=True)
+
+        machine.crash()
+        machine.boot()
+        sls = load_aurora(machine)
+        kernel = machine.kernel
+        result = sls.restore(gid, periodic=False)
+        by_name = {p.name: p for p in result.processes}
+        assert set(by_name) == {"browser", "render", "network"}
+
+        parent = by_name["browser"]
+        # Heap state is from this cycle's checkpoint.
+        assert parent.vmspace.read(app["heap"], 7) == \
+            f"cycle-{cycle}".encode()[:7]
+        # Shared memory still shared between parent and render worker.
+        by_name["render"].vmspace.write(app["shm"] + 64,
+                                        f"post-{cycle}".encode())
+        assert parent.vmspace.read(app["shm"] + 64, 6) == \
+            f"post-{cycle}".encode()[:6]
+        # The pipe still carries every unread report.
+        # (Nothing consumed it, so the full history is buffered.)
+        pipe_obj = parent.fdtable.get(app["rfd"]).fobj
+        assert bytes(pipe_obj.buffer).decode() == pipe_log
+        # The log file contains every line ever written.
+        kernel.lseek(parent, app["log_fd"], 0)
+        content = kernel.read(parent, app["log_fd"], 4096).decode()
+        assert content.splitlines() == [f"log-{c}"
+                                        for c in range(cycle + 1)]
+
+        app["group"] = result.group
+        app["parent"] = parent
+        app["workers"] = [by_name["render"], by_name["network"]]
+
+
+def test_long_periodic_run_then_restore():
+    """An app under 100 Hz checkpointing for a (simulated) second,
+    then a crash: at most one period of work is lost."""
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("worker")
+    addr = proc.vmspace.mmap(32 * PAGE_SIZE, name="heap")
+    group = sls.attach(proc)
+    ticks = 0
+    for _ in range(200):
+        ticks += 1
+        proc.vmspace.write(addr, ticks.to_bytes(4, "little"))
+        machine.run_for(5 * MSEC)
+    assert group.stats["checkpoints"] >= 90
+    gid = group.group_id
+    machine.crash()
+    machine.boot()
+    sls2 = load_aurora(machine)
+    result = sls2.restore(gid)
+    recovered = int.from_bytes(result.root.vmspace.read(addr, 4),
+                               "little")
+    assert ticks - 3 <= recovered <= ticks
+
+
+def test_memckpt_heavy_api_loop_with_crashes():
+    """The custom-application pattern (§3): full checkpoint once, then
+    continuous atomic region checkpoints; crash at arbitrary points."""
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("custom")
+    region = proc.vmspace.mmap(16 * PAGE_SIZE, name="data")
+    group = sls.attach(proc, periodic=False)
+    api = AuroraAPI(sls, proc)
+    api.sls_checkpoint(full=True, sync=True)
+    gid = group.group_id
+
+    for round_no in range(6):
+        proc.vmspace.write(region, f"round-{round_no}".encode())
+        api.sls_memckpt(region, 16 * PAGE_SIZE, sync=True)
+    machine.crash()
+    machine.boot()
+    sls2 = load_aurora(machine)
+    result = sls2.restore(gid)
+    assert result.root.vmspace.read(region, 7) == b"round-5"

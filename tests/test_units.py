@@ -1,0 +1,39 @@
+"""Units and formatting helpers."""
+
+import pytest
+
+from repro.units import (GiB, KiB, MiB, PAGE_SIZE, MSEC, SEC, USEC,
+                         fmt_size, fmt_time, pages_of)
+
+
+def test_size_constants_are_powers_of_two():
+    assert KiB == 2 ** 10
+    assert MiB == 2 ** 20
+    assert GiB == 2 ** 30
+    assert PAGE_SIZE == 4 * KiB
+
+
+def test_pages_of_rounds_up():
+    assert pages_of(0) == 0
+    assert pages_of(1) == 1
+    assert pages_of(PAGE_SIZE) == 1
+    assert pages_of(PAGE_SIZE + 1) == 2
+    assert pages_of(10 * PAGE_SIZE) == 10
+
+
+def test_pages_of_rejects_negative():
+    with pytest.raises(ValueError):
+        pages_of(-1)
+
+
+def test_fmt_size():
+    assert fmt_size(512) == "512 B"
+    assert fmt_size(5 * MiB) == "5.0 MiB"
+    assert fmt_size(2 * GiB) == "2.0 GiB"
+
+
+def test_fmt_time():
+    assert fmt_time(500) == "500 ns"
+    assert fmt_time(4 * USEC) == "4.00 us"
+    assert fmt_time(3 * MSEC) == "3.00 ms"
+    assert fmt_time(2 * SEC) == "2.000 s"

@@ -1,0 +1,144 @@
+"""Address spaces: faults, COW, fork, bulk access."""
+
+import pytest
+
+from repro.errors import InvalidArgument, SegmentationFault
+from repro.kernel.vm.vmmap import (INHERIT_SHARE, PROT_READ, PROT_WRITE)
+from repro.kernel.vm.vmobject import VMObject
+from repro.machine import Machine
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def kernel():
+    return Machine().kernel
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.spawn("app")
+
+
+def test_write_then_read(proc):
+    addr = proc.vmspace.mmap(64 * 1024)
+    proc.vmspace.write(addr + 10, b"hello")
+    assert proc.vmspace.read(addr + 10, 5) == b"hello"
+
+
+def test_read_of_untouched_memory_is_zero(proc):
+    addr = proc.vmspace.mmap(8 * 1024)
+    assert proc.vmspace.read(addr, 16) == b"\x00" * 16
+
+
+def test_write_spanning_pages(proc):
+    addr = proc.vmspace.mmap(3 * PAGE_SIZE)
+    data = bytes(range(256)) * 40  # 10240 bytes: spans 3 pages
+    proc.vmspace.write(addr + 100, data)
+    assert proc.vmspace.read(addr + 100, len(data)) == data
+
+
+def test_unmapped_access_faults(proc):
+    with pytest.raises(SegmentationFault):
+        proc.vmspace.read(0xDEAD0000, 4)
+    with pytest.raises(SegmentationFault):
+        proc.vmspace.write(0xDEAD0000, b"x")
+
+
+def test_write_to_readonly_mapping_faults(proc, kernel):
+    obj = VMObject(kernel, 2)
+    addr = proc.vmspace.mmap(2 * PAGE_SIZE, protection=PROT_READ,
+                             vmobject=obj)
+    with pytest.raises(SegmentationFault):
+        proc.vmspace.write(addr, b"x")
+
+
+def test_munmap_removes_mapping(proc):
+    addr = proc.vmspace.mmap(4 * PAGE_SIZE, name="scratch")
+    proc.vmspace.write(addr, b"x")
+    proc.vmspace.munmap(addr, 4 * PAGE_SIZE)
+    with pytest.raises(SegmentationFault):
+        proc.vmspace.read(addr, 1)
+
+
+def test_fork_cow_isolation(kernel, proc):
+    addr = proc.vmspace.mmap(16 * PAGE_SIZE)
+    proc.vmspace.write(addr, b"original")
+    child = kernel.fork(proc)
+    # Both see the pre-fork data.
+    assert child.vmspace.read(addr, 8) == b"original"
+    # Parent writes are invisible to the child and vice versa.
+    proc.vmspace.write(addr, b"parent!!")
+    child.vmspace.write(addr + PAGE_SIZE, b"child")
+    assert child.vmspace.read(addr, 8) == b"original"
+    assert proc.vmspace.read(addr, 8) == b"parent!!"
+    assert proc.vmspace.read(addr + PAGE_SIZE, 5) == b"\x00" * 5
+
+
+def test_fork_shares_inherit_share_mappings(kernel, proc):
+    addr = proc.vmspace.mmap(4 * PAGE_SIZE, inheritance=INHERIT_SHARE)
+    child = kernel.fork(proc)
+    proc.vmspace.write(addr, b"shared-write")
+    assert child.vmspace.read(addr, 12) == b"shared-write"
+
+
+def test_fork_cow_creates_shadows_lazily(kernel, proc):
+    addr = proc.vmspace.mmap(4 * PAGE_SIZE)
+    proc.vmspace.write(addr, b"data")
+    original = proc.vmspace.entry_at(addr).vmobject
+    child = kernel.fork(proc)
+    assert proc.vmspace.entry_at(addr).vmobject is original
+    proc.vmspace.write(addr, b"DATA")
+    # First write after fork shadowed the object.
+    assert proc.vmspace.entry_at(addr).vmobject is not original
+    assert proc.vmspace.entry_at(addr).vmobject.backing is original
+
+
+def test_grandchild_fork_chain(kernel, proc):
+    addr = proc.vmspace.mmap(2 * PAGE_SIZE)
+    proc.vmspace.write(addr, b"gen0")
+    c1 = kernel.fork(proc)
+    c1.vmspace.write(addr, b"gen1")
+    c2 = kernel.fork(c1)
+    c2.vmspace.write(addr, b"gen2")
+    assert proc.vmspace.read(addr, 4) == b"gen0"
+    assert c1.vmspace.read(addr, 4) == b"gen1"
+    assert c2.vmspace.read(addr, 4) == b"gen2"
+
+
+def test_touch_takes_cow_faults(proc):
+    addr = proc.vmspace.mmap(8 * PAGE_SIZE)
+    faults = proc.vmspace.touch(addr, 8, seed=1)
+    assert faults == 8
+    # Already writable: second touch takes no faults.
+    faults = proc.vmspace.touch(addr, 8, seed=2)
+    assert faults == 0
+
+
+def test_fill_populates_without_faults(proc):
+    addr = proc.vmspace.mmap(16 * PAGE_SIZE)
+    proc.vmspace.fill(addr, 16, seed=9)
+    assert proc.vmspace.pmap.fault_count == 0
+    assert proc.vmspace.resident_pages() == 16
+
+
+def test_writable_objects_excludes_readonly_and_excluded(proc, kernel):
+    rw = proc.vmspace.mmap(PAGE_SIZE, name="rw")
+    ro_obj = VMObject(kernel, 1)
+    proc.vmspace.mmap(PAGE_SIZE, protection=PROT_READ, vmobject=ro_obj)
+    excl = proc.vmspace.mmap(PAGE_SIZE, name="excluded")
+    proc.vmspace.entry_at(excl).sls_excluded = True
+    objs = proc.vmspace.writable_objects()
+    names = {obj.name for obj in objs}
+    assert "rw" in names
+    assert "excluded" not in names
+    assert len(objs) == 1
+
+
+def test_fork_charges_cow_setup_time(kernel, proc):
+    addr = proc.vmspace.mmap(256 * PAGE_SIZE)
+    proc.vmspace.fill(addr, 256, seed=0)
+    before = kernel.clock.now()
+    kernel.fork(proc)
+    elapsed = kernel.clock.now() - before
+    # 256 writable PTEs downgraded at ~60 ns each.
+    assert elapsed >= 256 * 50
