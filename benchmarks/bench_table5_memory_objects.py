@@ -55,7 +55,9 @@ def run_experiment():
         # Incremental: dirty the region, full-pipeline checkpoint.
         machine, sls, group, api, proc, addr, _ = _setup(size)
         proc.vmspace.touch(addr, npages, seed=1)
-        incr = sls.checkpoint(group).stop_ns
+        # Stop time derived from the pipeline's stage trace
+        # (first stop-time stage start → resume stage end).
+        incr = sls.checkpoint(group).stop_time_ns()
         machine.loop.drain()
 
         # Atomic: dirty again, sls_memckpt of just the region.

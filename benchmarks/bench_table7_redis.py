@@ -31,9 +31,11 @@ def run_experiment():
     server.populate_synthetic(SIZE, value_size=4096)
     group = sls.attach(server.proc, periodic=False)
     result = sls.checkpoint(group, sync=False)  # full first checkpoint
-    aurora_stop = result.stop_ns
-    aurora_os = result.quiesce_ns + result.serialize_ns
-    aurora_mem = result.shadow_ns
+    # Stage-derived timings: the pipeline records one span per stage,
+    # and the result exposes them by name.
+    aurora_stop = result.stop_time_ns()
+    aurora_os = result.stage_ns("quiesce") + result.stage_ns("serialize")
+    aurora_mem = result.stage_ns("collapse") + result.stage_ns("shadow")
     t0 = machine.clock.now()
     machine.loop.drain()  # the asynchronous flush
     aurora_io = machine.clock.now() - t0

@@ -98,9 +98,11 @@ class AuroraAPI:
             group.tracks[oid] = track
         else:
             track = group.tracks[top.sls_oid]
-        if track.frozen is not None and not track.flushed:
-            # Previous flush of this region still in flight.
-            self.sls.machine.loop.drain()
+        if track.frozen is not None and not track.flushed \
+                and group.flush_in_progress:
+            # Previous flush of this region still in flight: wait for
+            # this group's pending commit only (not the whole loop).
+            self.sls._await_flush(group)
         self.sls.shadow.collapse_completed(group)
 
         clock.advance(costs.CKPT_ATOMIC_BASE)
@@ -132,6 +134,7 @@ class AuroraAPI:
         result = CheckpointResult(txn.info, "atomic")
         result.stop_ns = clock.now() - t_start
         result.pages_flushed = len(dirty)
+        result.bytes_staged = txn.staged_bytes()
         group.flush_in_progress = True
 
         def on_complete(info):

@@ -152,6 +152,45 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_stat(args) -> int:
+    """``sls stat``: per-group per-stage checkpoint breakdown.
+
+    Telemetry is in-process (it is not part of the disk image), so the
+    command restores the group, runs a few measurement checkpoints,
+    and dumps the stage spans they produced.  The image is left
+    untouched.
+    """
+    from . import telemetry
+    from .pipeline import STAGE_ORDER, STOP_STAGES
+
+    machine, sls = _load(args.image)
+    result = _restore_group(sls, args.group)
+    group = result.group
+    for _ in range(args.checkpoints):
+        machine.run_for(group.period_ns)
+        sls.checkpoint(group, sync=True)
+
+    order = {stage: index for index, stage in enumerate(STAGE_ORDER)}
+    rows = sorted(telemetry.registry().stage_rows(group.group_id),
+                  key=lambda row: order.get(row["stage"], len(order)))
+    print(f"group {group.group_id} ({group.name}): "
+          f"{group.stats['checkpoints']} checkpoint(s) measured")
+    print(f"{'STAGE':<10} {'KIND':<8} {'COUNT':>5} {'TOTAL':>12} "
+          f"{'MEAN':>12} {'MAX':>12}")
+    for row in rows:
+        kind = "stop" if row["stage"] in STOP_STAGES else "overlap"
+        print(f"{row['stage']:<10} {kind:<8} {row['count']:>5} "
+              f"{fmt_time(row['total_ns']):>12} "
+              f"{fmt_time(int(row['mean_ns'])):>12} "
+              f"{fmt_time(row['max_ns']):>12}")
+    checkpoints = max(group.stats["checkpoints"], 1)
+    print(f"stop time: mean "
+          f"{fmt_time(group.stats['stop_ns_total'] // checkpoints)}, "
+          f"max {fmt_time(group.stats['stop_ns_max'])}; "
+          f"{fmt_size(group.stats['bytes_flushed'])} flushed")
+    return 0
+
+
 def cmd_checkpoint(args) -> int:
     """``sls checkpoint``: take a named full checkpoint."""
     machine, sls = _load(args.image)
@@ -278,6 +317,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("group", type=int)
     p.add_argument("--name")
     p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser("stat", help="per-stage checkpoint telemetry")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("--checkpoints", type=int, default=3,
+                   help="measurement checkpoints to run (default 3)")
+    p.set_defaults(func=cmd_stat)
 
     p = sub.add_parser("restore", help="restore an application")
     p.add_argument("image")

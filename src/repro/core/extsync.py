@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from . import telemetry
+
 
 class BufferedSend:
     """One withheld outgoing message."""
@@ -39,8 +41,9 @@ class ExternalSynchrony:
         self._open: Dict[int, List[BufferedSend]] = {}
         #: ckpt_id -> sends awaiting that checkpoint's completion.
         self._sealed: Dict[int, List[BufferedSend]] = {}
-        self.stats = {"buffered": 0, "released": 0, "bypassed": 0,
-                      "delay_ns_total": 0}
+        self.stats = telemetry.StatsView(
+            "sls.extsync",
+            keys=("buffered", "released", "bypassed", "delay_ns_total"))
 
     def buffer_send(self, group, nbytes: int,
                     on_release: Optional[Callable[[int], None]] = None,

@@ -16,6 +16,7 @@ from ..errors import AlreadyAttached, InvalidArgument
 from ..kernel.proc.pid import IDVirtualization
 from ..kernel.proc.process import Process
 from ..units import MSEC
+from . import telemetry
 
 
 class ObjectTrack:
@@ -76,14 +77,13 @@ class ConsistencyGroup:
         #: waits for it before initiating another checkpoint (§7).
         self.flush_in_progress = False
         self.suspended = False
-        #: Aggregate statistics for benchmarks.
-        self.stats = {
-            "checkpoints": 0,
-            "stop_ns_total": 0,
-            "stop_ns_max": 0,
-            "pages_flushed": 0,
-            "bytes_flushed": 0,
-        }
+        #: Aggregate statistics for benchmarks — a view over telemetry
+        #: counters, so the numbers are also queryable per group from
+        #: the registry (``sls stat``).
+        self.stats = telemetry.StatsView(
+            "sls.group", labels={"group": group_id},
+            keys=("checkpoints", "stop_ns_total", "stop_ns_max",
+                  "pages_flushed", "bytes_flushed"))
 
     # -- membership ----------------------------------------------------------------
 

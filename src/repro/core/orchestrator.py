@@ -1,16 +1,18 @@
 """The SLS orchestrator (§4.1): the module that makes POSIX persistent.
 
 The orchestrator owns consistency groups and runs the checkpoint
-pipeline:
+pipeline defined in :mod:`.pipeline`:
 
     quiesce → collapse flushed shadows → system shadowing →
-    serialize POSIX objects → resume → asynchronous flush → commit
+    serialize POSIX objects → seal → resume → asynchronous flush →
+    commit
 
-Only the steps before *resume* contribute to application stop time;
+Only the stages before *resume* contribute to application stop time;
 the flush overlaps execution thanks to the frozen system shadows.  A
 new checkpoint is never initiated while the previous flush is in
 flight (§7: a slow store bounds checkpoint frequency, never
-correctness).
+correctness).  Per-stage timings land in the telemetry registry
+(``sls stat`` reads them back).
 
 ``load_aurora`` is the module-load entry point: it formats or recovers
 the object store, mounts the Aurora FS, and rebuilds the directory of
@@ -26,58 +28,16 @@ from ..kernel.fs.vfs import VFS
 from ..objstore.oid import CLASS_GROUP, oid_serial
 from ..objstore.store import ObjectStore
 from ..slsfs.slsfs import SLSFS
-from ..units import MSEC, PAGE_SIZE
-from . import costs
+from . import telemetry
 from .extsync import ExternalSynchrony
 from .group import ConsistencyGroup
-from .quiesce import quiesce_group, resume_group
+from .pipeline import (MODE_DISK, MODE_MEM, CheckpointContext,
+                       CheckpointPipeline, CheckpointResult)
 from .restore import GroupRestorer, RestoreResult
-from .serialize import CheckpointSerializer
 from .shadowing import REVERSE, ShadowEngine
 
-#: Checkpoint target modes.
-MODE_DISK = "disk"   # full pipeline, flushed to the object store
-MODE_MEM = "mem"     # stop-time measurement only, nothing flushed
-
-
-class _MemTxn:
-    """Stand-in transaction for in-memory (non-flushed) checkpoints."""
-
-    class _Info:
-        ckpt_id = -1
-
-    def __init__(self, store):
-        self.store = store
-        self.info = self._Info()
-        self.records = {}
-        self.pages = {}
-
-    def put_object(self, oid, otype, state):
-        self.store.clock.advance(costs.STORE_RECORD_STAGE)
-        self.records[oid] = (otype, state)
-
-    def put_pages(self, oid, pages):
-        self.pages.setdefault(oid, {}).update(pages)
-
-
-class CheckpointResult:
-    """Timing breakdown of one checkpoint (benchmarks read this)."""
-
-    def __init__(self, info, mode: str):
-        self.info = info
-        self.mode = mode
-        self.stop_ns = 0
-        self.quiesce_ns = 0
-        self.shadow_ns = 0
-        self.serialize_ns = 0
-        self.pages_flushed = 0
-        self.bytes_staged = 0
-
-    def __repr__(self) -> str:
-        from ..units import fmt_time
-        ckpt = self.info.ckpt_id if self.info is not None else "-"
-        return (f"CheckpointResult(id={ckpt}, stop={fmt_time(self.stop_ns)}, "
-                f"{self.pages_flushed} pages)")
+__all__ = ["MODE_DISK", "MODE_MEM", "CheckpointResult", "Orchestrator",
+           "load_aurora"]
 
 
 class Orchestrator:
@@ -93,6 +53,8 @@ class Orchestrator:
         self.default_period_ns = default_period_ns
         self.shadow = ShadowEngine(self.kernel, store, collapse_direction)
         self.extsync = ExternalSynchrony(self.kernel)
+        self.pipeline = CheckpointPipeline()
+        self.telemetry = telemetry.registry()
         self.groups: Dict[int, ConsistencyGroup] = {}
         self.kernel.sls = self
 
@@ -168,99 +130,54 @@ class Orchestrator:
     def checkpoint(self, group: ConsistencyGroup, name: str = "",
                    full: bool = False, sync: bool = False,
                    mode: str = MODE_DISK) -> CheckpointResult:
-        """Run one checkpoint of ``group``; returns its timing."""
+        """Run the staged checkpoint pipeline on ``group``.
+
+        Returns the :class:`CheckpointResult` view over the stage
+        trace; per-stage spans are also recorded in the telemetry
+        registry.
+        """
         if mode not in (MODE_DISK, MODE_MEM):
             raise InvalidArgument(f"bad checkpoint mode {mode}")
         if group.flush_in_progress:
             if not sync:
                 raise SLSError("previous checkpoint still flushing")
-            self.machine.loop.drain()
-        clock = self.kernel.clock
-        t_start = clock.now()
+            self._await_flush(group)
+        ctx = CheckpointContext(self, group, name=name, full=full,
+                                sync=sync, mode=mode)
+        result = self.pipeline.run(ctx)
 
-        report = quiesce_group(self.kernel, group)
-        t_quiesced = clock.now()
-
-        self.shadow.collapse_completed(group)
-
-        if mode == MODE_MEM:
-            txn = _MemTxn(self.store)
-        else:
-            txn = self.store.begin_checkpoint(group.group_id, name=name,
-                                              parent=group.last_ckpt_id)
-        flush_items = self.shadow.shadow_group(group, full=full)
-        t_shadowed = clock.now()
-
-        serializer = CheckpointSerializer(self.kernel, group, self.store,
-                                          txn)
-        serializer.serialize_all()
-        for item in flush_items:
-            txn.put_object(item.oid, "vmobject", item.record)
-            txn.put_pages(item.oid, item.pages)
-        clock.advance(costs.CKPT_ORCH_BASE if mode == MODE_DISK
-                      else costs.CKPT_ATOMIC_BASE)
-        t_serialized = clock.now()
-
-        if mode == MODE_DISK:
-            self.extsync.seal(group, txn.info.ckpt_id)
-        resume_group(self.kernel, group)
-
-        result = CheckpointResult(txn.info if mode == MODE_DISK else None,
-                                  mode)
-        result.quiesce_ns = t_quiesced - t_start
-        result.shadow_ns = t_shadowed - t_quiesced
-        result.serialize_ns = t_serialized - t_shadowed
-        result.stop_ns = clock.now() - t_start
-        result.pages_flushed = sum(len(i.pages) for i in flush_items)
-
-        if mode == MODE_MEM:
-            # Nothing to flush: shadows are immediately collapsible.
-            self.shadow.mark_flushed(group)
-            group.stats["checkpoints"] += 1
-            group.stats["stop_ns_total"] += result.stop_ns
-            group.stats["stop_ns_max"] = max(group.stats["stop_ns_max"],
-                                             result.stop_ns)
-            return result
-
-        result.bytes_staged = txn.staged_bytes()
-        group.flush_in_progress = True
-
-        def on_complete(info):
-            group.flush_in_progress = False
-            group.last_complete_id = info.ckpt_id
-            self.shadow.mark_flushed(group)
-            self.extsync.release(info.ckpt_id)
-            if group.history_limit is not None:
-                self.store.retain_last(group.group_id,
-                                       group.history_limit)
-            if self.kernel.pageout.memory_pressure():
-                # Freshly flushed pages are clean: reclaim them without
-                # IO (§6 Memory Overcommitment).
-                objects = []
-                for track in group.tracks.values():
-                    objects.extend(track.active.chain())
-                self.kernel.pageout.run_pageout(objects,
-                                                store=self.store)
-
-        info = self.store.commit(txn, sync=sync, on_complete=on_complete)
-        group.last_ckpt_id = info.ckpt_id
-        if self.slsfs is not None and self.slsfs.has_dirty():
-            # File state commits on the same cadence (checkpoint
-            # consistency, §5.2).
-            self.slsfs.checkpoint(sync=sync)
         group.stats["checkpoints"] += 1
         group.stats["stop_ns_total"] += result.stop_ns
         group.stats["stop_ns_max"] = max(group.stats["stop_ns_max"],
                                          result.stop_ns)
-        group.stats["pages_flushed"] += result.pages_flushed
-        group.stats["bytes_flushed"] += info.data_bytes
+        if mode == MODE_DISK:
+            group.stats["pages_flushed"] += result.pages_flushed
+            group.stats["bytes_flushed"] += ctx.info.data_bytes
         return result
+
+    def _await_flush(self, group: ConsistencyGroup) -> None:
+        """Run the event loop just far enough for *this group's*
+        in-flight flush to finalize.
+
+        Unlike a full ``loop.drain()`` this neither waits on other
+        groups' flushes nor trips over periodic checkpoint timers
+        (which reschedule forever and would overflow the drain
+        limit).  The wait is keyed on the store's pending commit for
+        this group.
+        """
+        while group.flush_in_progress:
+            deadline = self.store.pending_commit_deadline(group.group_id)
+            if deadline is None:
+                raise SLSError(
+                    f"group {group.group_id} flush in flight but the "
+                    f"store has no pending commit for it")
+            self.machine.loop.run_until(deadline)
 
     def barrier(self, group: ConsistencyGroup) -> int:
         """Wait until the group's newest checkpoint is durable
         (sls_barrier); returns the checkpoint id."""
         if group.flush_in_progress:
-            self.machine.loop.drain()
+            self._await_flush(group)
         if group.last_complete_id is None:
             raise SLSError("no checkpoint has completed yet")
         return group.last_complete_id
@@ -300,13 +217,18 @@ class Orchestrator:
     def suspend(self, group: ConsistencyGroup) -> int:
         """``sls suspend``: final checkpoint, then tear down the
         processes; the application lives on only in the store."""
+        # Stop the periodic timer first so no tick fires while we wait
+        # out an in-flight flush, then let that flush land before the
+        # final full checkpoint opens its transaction.
+        if group.timer is not None:
+            group.timer.cancel()
+            group.timer = None
+        if group.flush_in_progress:
+            self._await_flush(group)
         result = self.checkpoint(group, name="suspend", full=True,
                                  sync=True)
         for proc in list(group.processes):
             proc.exit(0)
-        if group.timer is not None:
-            group.timer.cancel()
-            group.timer = None
         group.suspended = True
         self.groups.pop(group.group_id, None)
         return result.info.ckpt_id

@@ -34,7 +34,7 @@ from ..kernel.proc.signals import SIGCHLD, SIGSLSRESTORE
 from ..kernel.vm.vmobject import VMObject
 from ..objstore.oid import CLASS_MEMORY, oid_class
 from ..units import PAGE_SIZE
-from . import costs
+from . import costs, telemetry
 from .group import ConsistencyGroup, ObjectTrack
 
 
@@ -109,6 +109,14 @@ class GroupRestorer:
         self._post_restore_signals(desc, processes)
 
         elapsed = self.kernel.clock.now() - start
+        registry = telemetry.registry()
+        registry.record_span("restore.group", start,
+                             self.kernel.clock.now(),
+                             group=group.group_id)
+        registry.counter("sls.restore.pages_eager",
+                         group=group.group_id).add(self.pages_restored)
+        registry.counter("sls.restore.pages_lazy",
+                         group=group.group_id).add(self.pages_lazy)
         result = RestoreResult(group, processes, ckpt_id, lazy, elapsed,
                                self.pages_restored, self.pages_lazy)
         result.io_ns = self.io_ns

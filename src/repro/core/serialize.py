@@ -21,7 +21,7 @@ from ..kernel.fs.file import (DTYPE_DEVICE, DTYPE_KQUEUE, DTYPE_PIPE,
                               DTYPE_VNODE, OpenFile)
 from ..kernel.ipc.devfs import DEVICE_WHITELIST
 from ..objstore.oid import CLASS_FILE, CLASS_GROUP, CLASS_POSIX
-from . import costs
+from . import costs, telemetry
 
 
 class CheckpointSerializer:
@@ -76,6 +76,9 @@ class CheckpointSerializer:
             "aio": self.kernel.aio.quiesce(),
         }
         self.txn.put_object(self.group.desc_oid, "group", descriptor)
+        telemetry.registry().counter(
+            "sls.serialize.records",
+            group=self.group.group_id).add(len(self._done) + 1)
         return descriptor
 
     # -- processes ---------------------------------------------------------------------

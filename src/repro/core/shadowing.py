@@ -27,7 +27,7 @@ from ..errors import InvalidArgument
 from ..hw.memory import Page
 from ..kernel.vm.vmobject import DEVICE, VNODE, VMObject
 from ..objstore.oid import CLASS_MEMORY
-from . import costs
+from . import costs, telemetry
 from .group import ConsistencyGroup, ObjectTrack
 
 REVERSE = "reverse"   # Aurora's optimized direction (§6)
@@ -92,13 +92,10 @@ class ShadowEngine:
         if collapse_direction not in (REVERSE, FORWARD, NONE):
             raise InvalidArgument(f"bad direction {collapse_direction}")
         self.collapse_direction = collapse_direction
-        self.stats = {
-            "shadows_created": 0,
-            "collapses": 0,
-            "collapse_pages_moved": 0,
-            "ptes_downgraded": 0,
-            "tlb_shootdowns": 0,
-        }
+        self.stats = telemetry.StatsView(
+            "sls.shadow",
+            keys=("shadows_created", "collapses", "collapse_pages_moved",
+                  "ptes_downgraded", "tlb_shootdowns"))
 
     # -- collapse ---------------------------------------------------------------
 

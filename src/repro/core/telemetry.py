@@ -1,0 +1,331 @@
+"""Unified SLS telemetry: spans, counters, latency histograms.
+
+Every layer of the single level store — orchestrator, shadow engine,
+serializers, object store, journals, the Aurora FS, the NVMe model —
+reports into one process-wide :class:`TelemetryRegistry`.  Metrics are
+*sim-clock-native*: spans and histograms record integer simulated
+nanoseconds and recording never advances the clock, so instrumented
+and uninstrumented runs are timing-identical.
+
+Three primitives:
+
+* :class:`Counter` — a monotonic (or settable) integer, keyed by name
+  plus a label set (``group=3``, ``device="nvd0"``, ...).
+* :class:`Histogram` — a log2-bucketed latency distribution with exact
+  count/total/min/max, cheap enough for per-IO observation.
+* spans — ``registry.record_span(name, start, end, **labels)`` keeps a
+  bounded trace ring and feeds a histogram of the same name, which is
+  how per-stage checkpoint timings become queryable after the fact
+  (``sls stat``).
+
+:class:`StatsView` is the compatibility shim: a dict-shaped view over
+registry counters so existing readers of ``group.stats["checkpoints"]``
+et al. keep working while the data lives in the registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Canonical label encoding: sorted (key, value) tuples.
+LabelKey = Tuple[Tuple[str, object], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A named integer metric; supports add and (for maxima) set."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, object]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def add(self, delta: int = 1) -> int:
+        self.value += delta
+        return self.value
+
+    def set(self, value: int) -> int:
+        self.value = value
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{self.labels or ''}={self.value})"
+
+
+class Histogram:
+    """Log2-bucketed distribution of integer nanosecond samples."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "buckets")
+
+    def __init__(self, name: str, labels: Dict[str, object]):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max = 0
+        #: bucket index (sample.bit_length()) -> sample count.
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = int(value).bit_length()
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Upper bound of the bucket holding the p-th percentile."""
+        if not self.count:
+            return 0
+        target = max(1, int(self.count * p / 100.0 + 0.5))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                return (1 << index) - 1 if index else 0
+        return self.max
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}{self.labels or ''}: n={self.count}, "
+                f"mean={self.mean:.0f}ns, max={self.max}ns)")
+
+
+class SpanRecord:
+    """One completed span on the simulated clock."""
+
+    __slots__ = ("name", "labels", "start_ns", "end_ns")
+
+    def __init__(self, name: str, labels: Dict[str, object],
+                 start_ns: int, end_ns: int):
+        self.name = name
+        self.labels = labels
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name}{self.labels or ''} "
+                f"[{self.start_ns}, {self.end_ns}))")
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`TelemetryRegistry.span`."""
+
+    __slots__ = ("registry", "clock", "name", "labels", "start_ns")
+
+    def __init__(self, registry: "TelemetryRegistry", clock, name: str,
+                 labels: Dict[str, object]):
+        self.registry = registry
+        self.clock = clock
+        self.name = name
+        self.labels = labels
+        self.start_ns: Optional[int] = None
+
+    def __enter__(self) -> "_SpanContext":
+        self.start_ns = self.clock.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.registry.record_span(self.name, self.start_ns,
+                                  self.clock.now(), **self.labels)
+
+
+class TelemetryRegistry:
+    """Process-wide home of all counters, histograms and spans."""
+
+    #: Bounded span trace: enough for a benchmark run's recent history
+    #: without growing across thousands of simulated checkpoints.
+    SPAN_CAPACITY = 8192
+
+    def __init__(self, span_capacity: int = SPAN_CAPACITY):
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        self.spans: deque = deque(maxlen=span_capacity)
+
+    # -- metric access ------------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = Counter(name, labels)
+            self._counters[key] = counter
+        return counter
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = Histogram(name, labels)
+            self._histograms[key] = histogram
+        return histogram
+
+    # -- spans --------------------------------------------------------------------
+
+    def record_span(self, name: str, start_ns: int, end_ns: int,
+                    **labels) -> SpanRecord:
+        """Record a completed span and feed its latency histogram."""
+        span = SpanRecord(name, labels, start_ns, end_ns)
+        self.spans.append(span)
+        self.histogram(name, **labels).observe(span.duration_ns)
+        return span
+
+    def span(self, clock, name: str, **labels) -> _SpanContext:
+        """``with registry.span(clock, "restore", group=3): ...``"""
+        return _SpanContext(self, clock, name, labels)
+
+    # -- queries ------------------------------------------------------------------
+
+    def counters_matching(self, prefix: str = "",
+                          **labels) -> Iterator[Counter]:
+        """Counters whose name starts with ``prefix`` and whose label
+        set contains every given label (extra labels are ignored)."""
+        wanted = labels.items()
+        for counter in self._counters.values():
+            if not counter.name.startswith(prefix):
+                continue
+            if all(counter.labels.get(k) == v for k, v in wanted):
+                yield counter
+
+    def histograms_matching(self, prefix: str = "",
+                            **labels) -> Iterator[Histogram]:
+        """Histograms filtered like :meth:`counters_matching`."""
+        wanted = labels.items()
+        for histogram in self._histograms.values():
+            if not histogram.name.startswith(prefix):
+                continue
+            if all(histogram.labels.get(k) == v for k, v in wanted):
+                yield histogram
+
+    def value(self, name: str, **labels) -> int:
+        """Sum of every counter with this exact name and matching
+        labels (aggregates across instance labels)."""
+        return sum(c.value for c in self.counters_matching(name, **labels)
+                   if c.name == name)
+
+    def stage_rows(self, group_id: Optional[int] = None,
+                   prefix: str = "ckpt.") -> List[dict]:
+        """Per-stage latency summary rows (the ``sls stat`` payload)."""
+        rows = []
+        labels = {} if group_id is None else {"group": group_id}
+        for histogram in self.histograms_matching(prefix, **labels):
+            rows.append({
+                "stage": histogram.name[len(prefix):],
+                "group": histogram.labels.get("group"),
+                "count": histogram.count,
+                "total_ns": histogram.total,
+                "mean_ns": histogram.mean,
+                "max_ns": histogram.max,
+            })
+        return rows
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation between experiments)."""
+        self._counters.clear()
+        self._histograms.clear()
+        self.spans.clear()
+
+
+#: The process-wide registry.  Components grab it at construction; the
+#: CLI and benchmarks read it after a run.
+_REGISTRY = TelemetryRegistry()
+
+#: Monotonic instance ids keep same-named stats of different component
+#: instances (two machines' stores, a restored group's new incarnation)
+#: on separate counters, matching the old per-object dict behaviour.
+_INSTANCES = itertools.count(1)
+
+
+def registry() -> TelemetryRegistry:
+    """The process-wide telemetry registry."""
+    return _REGISTRY
+
+
+def reset() -> None:
+    """Clear the process-wide registry (between tests/experiments)."""
+    _REGISTRY.reset()
+
+
+def next_instance() -> int:
+    """A fresh instance label value."""
+    return next(_INSTANCES)
+
+
+class StatsView:
+    """Dict-shaped compatibility view over registry counters.
+
+    ``view["checkpoints"] += 1`` reads and writes the backing counter
+    named ``<prefix>.checkpoints`` with this view's labels, so legacy
+    ``component.stats[...]`` readers keep working while every number
+    is also queryable (and aggregatable) through the registry.
+    """
+
+    __slots__ = ("_prefix", "_labels", "_keys")
+
+    def __init__(self, prefix: str, labels: Optional[Dict[str, object]] = None,
+                 keys: Iterable[str] = ()):
+        self._prefix = prefix
+        self._labels = dict(labels or {})
+        self._labels.setdefault("inst", next_instance())
+        self._keys: List[str] = []
+        for key in keys:
+            self._counter(key)
+
+    def _counter(self, key: str) -> Counter:
+        if key not in self._keys:
+            self._keys.append(key)
+        return _REGISTRY.counter(f"{self._prefix}.{key}", **self._labels)
+
+    def __getitem__(self, key: str) -> int:
+        return self._counter(key).value
+
+    def __setitem__(self, key: str, value: int) -> None:
+        self._counter(key).set(value)
+
+    def get(self, key: str, default: int = 0) -> int:
+        if key not in self._keys:
+            return default
+        return self[key]
+
+    def keys(self) -> List[str]:
+        return list(self._keys)
+
+    def items(self) -> List[Tuple[str, int]]:
+        return [(key, self[key]) for key in self._keys]
+
+    def values(self) -> List[int]:
+        return [self[key] for key in self._keys]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.items())
+
+    def __repr__(self) -> str:
+        return f"StatsView({self._prefix}, {self.as_dict()})"

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple, Union
 
 from .clock import SimClock
-from ..core import costs
+from ..core import costs, telemetry
 from ..errors import DeviceFull, StoreError
 from ..units import STRIPE_SIZE
 
@@ -55,6 +55,18 @@ class NVMeDevice:
         self.bytes_read = 0
         self.write_commands = 0
         self.read_commands = 0
+        # Telemetry counters are resolved once here: submit/read are
+        # the hot paths, so no registry lookups per command.
+        registry = telemetry.registry()
+        inst = telemetry.next_instance()
+        self._t_bytes_written = registry.counter(
+            "nvme.bytes_written", device=name, inst=inst)
+        self._t_bytes_read = registry.counter(
+            "nvme.bytes_read", device=name, inst=inst)
+        self._t_write_commands = registry.counter(
+            "nvme.write_commands", device=name, inst=inst)
+        self._t_read_commands = registry.counter(
+            "nvme.read_commands", device=name, inst=inst)
 
     # -- timing ------------------------------------------------------------
 
@@ -99,6 +111,8 @@ class NVMeDevice:
         self._inflight.append((done, offset, payload))
         self.bytes_written += nbytes
         self.write_commands += 1
+        self._t_bytes_written.add(nbytes)
+        self._t_write_commands.add(1)
         return done
 
     def poll(self) -> None:
@@ -134,6 +148,8 @@ class NVMeDevice:
         self.clock.advance_to(done)
         self.bytes_read += nbytes
         self.read_commands += 1
+        self._t_bytes_read.add(nbytes)
+        self._t_read_commands.add(1)
         return payload
 
     def read_async(self, offset: int) -> Tuple[Payload, int]:
@@ -152,6 +168,8 @@ class NVMeDevice:
                                   costs.NVME_READ_BW)
         self.bytes_read += nbytes
         self.read_commands += 1
+        self._t_bytes_read.add(nbytes)
+        self._t_read_commands.add(1)
         return payload, done
 
     def has_extent(self, offset: int) -> bool:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
+from ..core import telemetry
 from ..errors import CorruptRecord, InvalidArgument, NoSpace, StoreError
 from ..units import KiB
 from . import records
@@ -71,11 +72,21 @@ class Journal:
         if self.head_slot + nslots > self.nslots:
             raise NoSpace(f"journal {self.jid} full")
         first_slot = self.head_slot
+        start = self.store.clock.now()
         self.store.device.write(self._slot_offset(first_slot), payload,
                                 sync=True)
+        self._observe_append(start, len(payload))
         self.head_slot += nslots
         self.appends += 1
         return first_slot
+
+    def _observe_append(self, start_ns: int, nbytes: int) -> None:
+        registry = telemetry.registry()
+        registry.histogram("journal.append",
+                           jid=self.jid).observe(
+                               self.store.clock.now() - start_ns)
+        registry.counter("journal.bytes_appended",
+                         jid=self.jid).add(nbytes)
 
     def append_synthetic(self, nbytes: int, seed: int = 0) -> int:
         """Benchmark path: append ``nbytes`` of synthetic payload.
@@ -92,8 +103,10 @@ class Journal:
         if self.head_slot + nslots > self.nslots:
             raise NoSpace(f"journal {self.jid} full")
         first_slot = self.head_slot
+        start = self.store.clock.now()
         self.store.device.write(self._slot_offset(first_slot),
                                 synthetic_payload(seed, framed), sync=True)
+        self._observe_append(start, framed)
         self.head_slot += nslots
         self.appends += 1
         return first_slot

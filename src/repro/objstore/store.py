@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..core import costs
+from ..core import costs, telemetry
 from ..errors import (CorruptRecord, InvalidArgument, NoSuchCheckpoint,
                       NoSuchObject, StoreError)
 from ..hw.memory import Page
@@ -89,7 +89,12 @@ class ObjectStore:
         self._mounted = False
         #: Pending async commits: ckpt_id -> callbacks.
         self._commit_watchers: Dict[int, List[Callable[[CheckpointInfo], None]]] = {}
-        self.stats = {"commits": 0, "bytes_flushed": 0, "recoveries": 0}
+        #: In-flight async commits: ckpt_id -> (group_id, finalize time).
+        #: Targeted waits (sls_barrier) key on these instead of
+        #: draining the whole event loop.
+        self._pending_commits: Dict[int, Tuple[int, int]] = {}
+        self.stats = telemetry.StatsView(
+            "sls.store", keys=("commits", "bytes_flushed", "recoveries"))
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -231,6 +236,7 @@ class ObjectStore:
         self.device.write(meta_extent, payload)
         info.meta_extent = (meta_extent, len(payload))
         info.complete = True
+        self._pending_commits.pop(info.ckpt_id, None)
         self.checkpoints[info.ckpt_id] = info
         for offset, _length in info.owned_extents:
             self.extent_refs[offset] = self.extent_refs.get(offset, 0) + 1
@@ -255,9 +261,13 @@ class ObjectStore:
         if txn.committed:
             raise InvalidArgument("transaction already committed")
         txn.committed = True
+        submitted = self.clock.now()
         done_pages = self._pack_pages(txn)
         done_records = self._write_records(txn)
         data_done = max(done_pages, done_records)
+        telemetry.registry().record_span("store.flush", submitted,
+                                         data_done,
+                                         group=txn.info.group_id)
         if on_complete is not None:
             self._commit_watchers.setdefault(txn.info.ckpt_id,
                                              []).append(on_complete)
@@ -266,9 +276,23 @@ class ObjectStore:
             self.device.poll()
             self._finalize_commit(txn)
         else:
+            self._pending_commits[txn.info.ckpt_id] = (txn.info.group_id,
+                                                       data_done)
             self.loop.call_at(data_done,
                               lambda: self._finalize_commit(txn))
         return txn.info
+
+    def pending_commit_deadline(self, group_id: Optional[int] = None
+                                ) -> Optional[int]:
+        """Earliest finalize time among in-flight async commits.
+
+        With ``group_id``, only that group's commits are considered —
+        the key to waiting out one group's flush without draining
+        every other group's (or spinning on periodic timers).
+        """
+        deadlines = [done for gid, done in self._pending_commits.values()
+                     if group_id is None or gid == group_id]
+        return min(deadlines) if deadlines else None
 
     # -- catalog / superblock ------------------------------------------------------------
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
-from ..core import costs
+from ..core import costs, telemetry
 from ..errors import NoSuchCheckpoint, RestoreError
 from ..kernel.fs.filesystem import Filesystem
 from ..kernel.fs.vnode import Vnode, VDIR, VREG
@@ -126,6 +126,9 @@ class SLSFS(Filesystem):
         Called by the orchestrator on the group-checkpoint cadence so
         that file state commits atomically alongside application
         state (checkpoint consistency)."""
+        registry = telemetry.registry()
+        registry.counter("sls.fs.checkpoints").add(1)
+        registry.counter("sls.fs.dirty_inodes").add(len(self._dirty_inodes))
         txn = self.store.begin_checkpoint(self.GROUP_ID, name="slsfs",
                                           parent=self.last_ckpt_id)
         txn.put_object(NAMESPACE_OID, "slsfs-namespace",
