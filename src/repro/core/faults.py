@@ -1,0 +1,237 @@
+"""Deterministic fault injection for crash-schedule exploration.
+
+Aurora's core claim is that a whole application survives a power
+failure at *any* instant (§5, §7).  A :class:`FaultPlan` turns "any
+instant" into an enumerable schedule: every device write gets a
+monotonically increasing IO index, and the checkpoint pipeline reports
+every stage boundary, so a test can say "crash exactly at IO 17" or
+"crash right before the seal stage" and get the same instant on every
+run.  The plan is threaded through :class:`~repro.hw.nvme.StripedArray`
+(IO faults) and :class:`~repro.core.pipeline.CheckpointPipeline`
+(stage-boundary faults); :meth:`~repro.machine.Machine.set_fault_plan`
+installs it and a machine crash clears it.
+
+Four fault kinds:
+
+* ``crash`` — power fails the instant before the write is issued (or
+  at the stage boundary): :class:`InjectedCrash` unwinds to the test
+  harness, which calls ``machine.crash()`` to tear in-flight IO.
+* ``torn`` — the first half of the write reaches media, then power
+  fails: the truncated payload is forced durable and
+  :class:`InjectedCrash` is raised.
+* ``bitflip`` — one byte of the payload is silently corrupted; the
+  write completes normally (the scrubber's prey).
+* ``nospace`` — the device reports ``ENOSPC`` for this command.
+
+Everything a plan does is a pure function of its registrations, so a
+seeded plan (:meth:`FaultPlan.random`) reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NoSpace, ReproError
+
+#: Fault kinds.
+CRASH = "crash"
+TORN = "torn"
+BITFLIP = "bitflip"
+NOSPACE = "nospace"
+
+#: Stage-boundary edges.
+BEFORE = "before"
+AFTER = "after"
+
+
+class InjectedFault(ReproError):
+    """Base class for failures raised by a :class:`FaultPlan`."""
+
+
+class InjectedCrash(InjectedFault):
+    """A scheduled power failure fired.
+
+    The simulated machine is *not* crashed yet when this unwinds; the
+    harness models the power loss by calling ``machine.crash()``,
+    which tears away every write still in the device queues.
+    """
+
+
+class FaultEvent:
+    """One fault that fired (the plan's audit trail)."""
+
+    __slots__ = ("kind", "io_index", "stage", "edge", "offset")
+
+    def __init__(self, kind: str, io_index: int,
+                 stage: Optional[str] = None, edge: Optional[str] = None,
+                 offset: Optional[int] = None):
+        self.kind = kind
+        #: Number of device writes fully submitted when the fault fired.
+        self.io_index = io_index
+        self.stage = stage
+        self.edge = edge
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        where = (f"stage={self.stage}/{self.edge}" if self.stage
+                 else f"io={self.io_index}")
+        return f"FaultEvent({self.kind}, {where})"
+
+
+class FaultPlan:
+    """A reproducible schedule of injected faults.
+
+    With no registrations the plan is a pure observer: it numbers
+    every device write (``io_log``) and records every pipeline stage
+    boundary (``boundaries_seen``), which is how the crash-schedule
+    explorer discovers the schedule space before sweeping it.
+    """
+
+    def __init__(self, name: str = "", seed: int = 0):
+        self.name = name
+        self.seed = seed
+        #: Next IO index == number of writes fully submitted so far.
+        self.io_index = 0
+        self.io_log: List[int] = []
+        self.boundaries_seen: List[Tuple[str, str]] = []
+        self.events: List[FaultEvent] = []
+        self._io_faults: Dict[int, str] = {}
+        self._stage_faults: Dict[Tuple[str, str], str] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def crash_at_io(self, index: int) -> "FaultPlan":
+        """Power fails the instant write ``index`` would be issued."""
+        self._io_faults[index] = CRASH
+        return self
+
+    def torn_at_io(self, index: int) -> "FaultPlan":
+        """Write ``index`` is torn: half lands, then power fails."""
+        self._io_faults[index] = TORN
+        return self
+
+    def bitflip_at_io(self, index: int) -> "FaultPlan":
+        """Write ``index`` lands with one byte silently flipped."""
+        self._io_faults[index] = BITFLIP
+        return self
+
+    def nospace_at_io(self, index: int) -> "FaultPlan":
+        """Write ``index`` fails with ENOSPC."""
+        self._io_faults[index] = NOSPACE
+        return self
+
+    def crash_at_stage(self, stage: str, edge: str = BEFORE) -> "FaultPlan":
+        """Power fails at the named pipeline stage boundary."""
+        if edge not in (BEFORE, AFTER):
+            raise ValueError(f"bad stage edge {edge!r}")
+        self._stage_faults[(stage, edge)] = CRASH
+        return self
+
+    @classmethod
+    def random(cls, seed: int, io_count: int,
+               boundaries: Optional[List[Tuple[str, str]]] = None
+               ) -> "FaultPlan":
+        """A seeded one-fault plan over a known schedule space.
+
+        The same ``(seed, io_count, boundaries)`` always yields the
+        same plan — the fixed-seed smoke tests in CI rely on it.
+        """
+        rng = random.Random(seed)
+        plan = cls(name=f"random-{seed}", seed=seed)
+        kinds = [CRASH, TORN, BITFLIP, NOSPACE]
+        if boundaries and rng.random() < 0.25:
+            stage, edge = boundaries[rng.randrange(len(boundaries))]
+            plan.crash_at_stage(stage, edge)
+        else:
+            index = rng.randrange(max(io_count, 1))
+            plan._io_faults[index] = kinds[rng.randrange(len(kinds))]
+        return plan
+
+    def describe(self) -> str:
+        """Human-readable registration summary (stable across runs)."""
+        parts = [f"io{idx}:{kind}"
+                 for idx, kind in sorted(self._io_faults.items())]
+        parts += [f"{stage}/{edge}:{kind}"
+                  for (stage, edge), kind
+                  in sorted(self._stage_faults.items())]
+        return ",".join(parts) or "observe"
+
+    # -- hooks (called by the device array and the pipeline) ---------------
+
+    def _fire(self, kind: str, stage: Optional[str] = None,
+              edge: Optional[str] = None,
+              offset: Optional[int] = None) -> FaultEvent:
+        event = FaultEvent(kind, self.io_index, stage=stage, edge=edge,
+                           offset=offset)
+        self.events.append(event)
+        return event
+
+    def on_io(self, offset: int, payload, sync: bool):
+        """Called by the device array before each write is queued.
+
+        Returns ``(verb, payload)`` where verb is ``"ok"`` (queue the
+        returned payload normally) or ``"torn"`` (force the returned
+        truncated payload durable, then the array raises the crash).
+        May raise :class:`InjectedCrash` or
+        :class:`~repro.errors.NoSpace` instead.
+        """
+        index = self.io_index
+        kind = self._io_faults.get(index)
+        if kind == CRASH:
+            self._fire(CRASH, offset=offset)
+            raise InjectedCrash(
+                f"injected power failure at IO {index} (offset {offset})")
+        if kind == NOSPACE:
+            self._fire(NOSPACE, offset=offset)
+            raise NoSpace(f"injected ENOSPC at IO {index}")
+        # The write reaches the queue: it counts.
+        self.io_index += 1
+        self.io_log.append(offset)
+        if kind == BITFLIP:
+            self._fire(BITFLIP, offset=offset)
+            return "ok", _flip_payload(payload, self.seed)
+        if kind == TORN:
+            self._fire(TORN, offset=offset)
+            return "torn", _tear_payload(payload)
+        return "ok", payload
+
+    def on_stage(self, stage: str, edge: str) -> None:
+        """Called by the checkpoint pipeline at each stage boundary."""
+        self.boundaries_seen.append((stage, edge))
+        if self._stage_faults.get((stage, edge)) == CRASH:
+            self._fire(CRASH, stage=stage, edge=edge)
+            raise InjectedCrash(
+                f"injected power failure {edge} stage {stage!r}")
+
+    # -- audit -------------------------------------------------------------
+
+    @property
+    def fired(self) -> bool:
+        """True once at least one registered fault fired."""
+        return bool(self.events)
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan({self.name or 'anon'}: {self.describe()}, "
+                f"{self.io_index} IOs seen, {len(self.events)} fired)")
+
+
+def _flip_payload(payload, seed: int):
+    """One corrupted byte (real payloads) or a perturbed seed
+    (synthetic payloads — their content is a function of the seed)."""
+    if isinstance(payload, bytes):
+        if not payload:
+            return payload
+        index = seed % len(payload)
+        return (payload[:index] + bytes([payload[index] ^ 0x80]) +
+                payload[index + 1:])
+    tag, syn_seed, length = payload
+    return (tag, syn_seed ^ 0x1, length)
+
+
+def _tear_payload(payload):
+    """The prefix of the write that reached media before power died."""
+    if isinstance(payload, bytes):
+        return payload[:max(1, len(payload) // 2)]
+    tag, syn_seed, length = payload
+    return (tag, syn_seed, max(1, length // 2))

@@ -367,7 +367,14 @@ class CheckpointPipeline:
 
     def run(self, ctx: CheckpointContext) -> CheckpointResult:
         clock = ctx.clock
-        for stage in self.stages:
+        # The fault plan sees every stage boundary: "before" each
+        # stage plus "after" the last one — N+1 crash points per
+        # checkpoint, enumerable by the crash-schedule explorer.
+        plan = getattr(ctx.machine, "fault_plan", None)
+        last = len(self.stages) - 1
+        for index, stage in enumerate(self.stages):
+            if plan is not None:
+                plan.on_stage(stage.name, "before")
             start = clock.now()
             stage.run(ctx)
             end = clock.now()
@@ -375,4 +382,6 @@ class CheckpointPipeline:
                                         stage.overlap))
             self.telemetry.record_span(f"ckpt.{stage.name}", start, end,
                                        group=ctx.group.group_id)
+            if plan is not None and index == last:
+                plan.on_stage(stage.name, "after")
         return CheckpointResult.from_context(ctx)

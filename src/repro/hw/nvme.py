@@ -181,6 +181,15 @@ class NVMeDevice:
         """Drop an extent (GC reclaimed its blocks)."""
         self._extents.pop(offset, None)
 
+    def tear_write(self, offset: int, payload: Payload) -> None:
+        """Force a (truncated) payload durable immediately.
+
+        Models the media-side half of a torn write: part of the
+        command's data reached flash before power died, bypassing the
+        queue that :meth:`discard_inflight` tears away.
+        """
+        self._extents[offset] = payload
+
     # -- crash behaviour -------------------------------------------------------
 
     def discard_inflight(self) -> int:
@@ -223,6 +232,9 @@ class StripedArray:
             for i in range(ndevices)
         ]
         self.capacity = ndevices * capacity_per_device
+        #: Optional FaultPlan consulted before every write dispatch
+        #: (installed via Machine.set_fault_plan, cleared on crash).
+        self.fault_plan = None
 
     def _device_for(self, offset: int) -> Tuple[NVMeDevice, int]:
         """Classic RAID-0 LBA mapping: stripe unit ``u`` lives on
@@ -233,15 +245,32 @@ class StripedArray:
         local = (unit // ndev) * self.stripe + offset % self.stripe
         return device, local
 
+    def _inject(self, device: NVMeDevice, local: int, offset: int,
+                payload: Payload, sync: bool) -> Payload:
+        """Consult the fault plan; returns the (possibly corrupted)
+        payload to dispatch, or raises the injected failure."""
+        from ..core.faults import InjectedCrash
+
+        verb, payload = self.fault_plan.on_io(offset, payload, sync)
+        if verb == "torn":
+            device.tear_write(local, payload)
+            raise InjectedCrash(
+                f"injected torn write at array offset {offset}")
+        return payload
+
     def submit_write(self, offset: int, payload: Payload,
                      sync: bool = False) -> int:
         """Queue a write on the owning device (striped dispatch)."""
         device, local = self._device_for(offset)
+        if self.fault_plan is not None:
+            payload = self._inject(device, local, offset, payload, sync)
         return device.submit_write(local, payload, sync=sync)
 
     def write(self, offset: int, payload: Payload, sync: bool = False) -> int:
         """Synchronous write: submit, advance the clock, apply."""
         device, local = self._device_for(offset)
+        if self.fault_plan is not None:
+            payload = self._inject(device, local, offset, payload, sync)
         return device.write(local, payload, sync=sync)
 
     def read(self, offset: int) -> Payload:

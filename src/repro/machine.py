@@ -46,7 +46,24 @@ class Machine:
         self.nic = NIC(self.clock)
         self.boot_count = 0
         self.kernel: Optional[Kernel] = None
+        #: Installed FaultPlan (crash-schedule exploration); volatile —
+        #: a power failure clears it like everything else.
+        self.fault_plan = None
         self.boot()
+
+    def set_fault_plan(self, plan) -> None:
+        """Install a :class:`~repro.core.faults.FaultPlan`.
+
+        The plan observes (and may fail) every device write and every
+        checkpoint pipeline stage boundary until the next crash.
+        """
+        self.fault_plan = plan
+        self.storage.fault_plan = plan
+
+    def clear_fault_plan(self) -> None:
+        """Remove the installed fault plan (no-op when absent)."""
+        self.fault_plan = None
+        self.storage.fault_plan = None
 
     def boot(self) -> Kernel:
         """Bring up a fresh kernel (volatile state starts empty)."""
@@ -65,6 +82,7 @@ class Machine:
         Returns the number of device writes lost in flight.
         """
         lost = self.storage.discard_inflight()
+        self.clear_fault_plan()
         if self.kernel is not None:
             self.kernel.mark_crashed()
         self.kernel = None

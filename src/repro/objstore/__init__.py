@@ -17,6 +17,7 @@ from .oid import OIDAllocator
 from .blockalloc import ExtentAllocator
 from .checkpoint import CheckpointInfo, PageLocator
 from .journal import Journal
+from .scrub import ScrubReport
 from .store import ObjectStore
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "PageLocator",
     "Journal",
     "ObjectStore",
+    "ScrubReport",
 ]

@@ -1,0 +1,311 @@
+"""Offline integrity scrub over the versioned object store.
+
+The commit protocol promises that everything reachable from a valid
+superblock is durable and consistent; the scrubber *checks* that
+promise the way a versioned-OSD fsck would, walking the on-disk object
+graph top-down:
+
+    superblock slots → catalog → checkpoint metadata records →
+    object record extents → page data extents
+
+verifying along the way:
+
+* **Checksums** — every metadata/record extent decodes through the
+  :mod:`repro.serde` envelope (CRC32 + strict TLV), so a flipped byte
+  anywhere in a record surfaces as a ``checksum`` finding.
+* **Reachability** — every extent a checkpoint references (its own
+  metadata, object records, page data) actually exists on the device;
+  a dangling pointer is a ``dangling`` finding.
+* **Reference counts** — the per-extent refcounts implied by the
+  checkpoints' ``owned_extents`` match the mounted store's in-memory
+  counts, and no live extent sits on the superblock's free list.
+* **Shadow chains** — for live consistency groups (when an
+  orchestrator is passed), each tracked object's shadow chain holds at
+  most :data:`MAX_SHADOW_DEPTH` shadows above its base: the eager
+  collapse invariant of §6.  Ablation modes that let chains grow are
+  exactly what this catches.
+
+Results land in a :class:`ScrubReport` and in telemetry counters
+(``sls.scrub.*``), and ``sls scrub`` exposes the walk on the CLI.
+The scrub only ever *reads* the device; it never repairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core import telemetry
+from ..errors import CorruptRecord, StoreError
+from . import records
+from .checkpoint import CheckpointInfo
+
+#: Shadow objects allowed above a chain's base: the active top plus at
+#: most one frozen (flushing / awaiting collapse) shadow (§6).
+MAX_SHADOW_DEPTH = 2
+
+#: Finding kinds.
+SUPERBLOCK = "superblock"
+CHECKSUM = "checksum"
+DANGLING = "dangling"
+REFCOUNT = "refcount"
+FREELIST = "freelist"
+CHAIN = "shadow-chain"
+
+
+class Finding:
+    """One integrity violation the scrub observed."""
+
+    __slots__ = ("kind", "detail", "ckpt_id")
+
+    def __init__(self, kind: str, detail: str,
+                 ckpt_id: Optional[int] = None):
+        self.kind = kind
+        self.detail = detail
+        self.ckpt_id = ckpt_id
+
+    def __repr__(self) -> str:
+        where = f" (ckpt {self.ckpt_id})" if self.ckpt_id is not None else ""
+        return f"Finding({self.kind}: {self.detail}{where})"
+
+
+class ScrubReport:
+    """Everything one scrub pass saw, plus its verdict."""
+
+    def __init__(self):
+        self.findings: List[Finding] = []
+        self.superblocks_valid = 0
+        self.generation: Optional[int] = None
+        self.checkpoints_scanned = 0
+        self.records_verified = 0
+        self.page_extents_verified = 0
+        self.extents_counted = 0
+        self.chains_checked = 0
+        self.stats = telemetry.StatsView(
+            "sls.scrub",
+            keys=("runs", "checkpoints", "records", "page_extents",
+                  "chains", "findings"))
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add(self, kind: str, detail: str,
+            ckpt_id: Optional[int] = None) -> None:
+        self.findings.append(Finding(kind, detail, ckpt_id))
+        self.stats["findings"] += 1
+
+    def __repr__(self) -> str:
+        verdict = "clean" if self.ok else f"{len(self.findings)} finding(s)"
+        return (f"ScrubReport({verdict}: {self.checkpoints_scanned} ckpts, "
+                f"{self.records_verified} records, "
+                f"{self.page_extents_verified} page extents)")
+
+
+def _read_superblocks(device) -> List[Tuple[int, Optional[dict]]]:
+    """(slot, decoded-or-None) for both superblock slots."""
+    from .store import SUPERBLOCK_SLOTS
+
+    slots = []
+    for slot in SUPERBLOCK_SLOTS:
+        decoded = None
+        if device.has_extent(slot):
+            try:
+                payload = device.read(slot)
+                if isinstance(payload, bytes):
+                    decoded = records.decode(payload, records.REC_SUPERBLOCK)
+            except (CorruptRecord, StoreError):
+                decoded = None
+        slots.append((slot, decoded))
+    return slots
+
+
+def _scan_checkpoint(store, report: ScrubReport,
+                     info: CheckpointInfo) -> None:
+    """Verify one checkpoint's record and page extents."""
+    device = store.device
+    for oid, (extent, _length) in sorted(info.object_records.items()):
+        if not device.has_extent(extent):
+            report.add(DANGLING,
+                       f"object record for oid {oid} points at missing "
+                       f"extent {extent}", info.ckpt_id)
+            continue
+        payload = device.read(extent)
+        if not isinstance(payload, bytes):
+            report.add(CHECKSUM,
+                       f"object record extent {extent} holds synthetic "
+                       f"data", info.ckpt_id)
+            continue
+        try:
+            r_oid, _otype, _state = records.decode_object(payload)
+        except CorruptRecord as exc:
+            report.add(CHECKSUM,
+                       f"object record at extent {extent}: {exc}",
+                       info.ckpt_id)
+            continue
+        if r_oid != oid:
+            report.add(CHECKSUM,
+                       f"object record at extent {extent} claims oid "
+                       f"{r_oid}, catalog says {oid}", info.ckpt_id)
+        report.records_verified += 1
+        report.stats["records"] += 1
+
+    for oid, page_map in sorted(info.pages.items()):
+        for pindex, locator in sorted(page_map.items()):
+            if locator.kind != "ext":
+                continue  # synthetic: content is a function of the seed
+            if not device.has_extent(locator.extent):
+                report.add(DANGLING,
+                           f"page {pindex} of oid {oid} points at missing "
+                           f"extent {locator.extent}", info.ckpt_id)
+                continue
+            payload = device.read(locator.extent)
+            from ..hw.nvme import payload_length
+            if locator.byte_off + locator.length > payload_length(payload):
+                report.add(DANGLING,
+                           f"page {pindex} of oid {oid} overruns extent "
+                           f"{locator.extent}", info.ckpt_id)
+                continue
+            report.page_extents_verified += 1
+            report.stats["page_extents"] += 1
+
+
+def _scan_refcounts(store, report: ScrubReport,
+                    checkpoints: Dict[int, CheckpointInfo],
+                    superblock: dict) -> None:
+    """Recompute extent refcounts from metadata; cross-check the
+    mounted store and the superblock's free list."""
+    expected: Dict[int, int] = {}
+    lengths: Dict[int, int] = {}
+    for info in checkpoints.values():
+        for offset, length in info.owned_extents:
+            expected[offset] = expected.get(offset, 0) + 1
+            lengths[offset] = length
+        report.extents_counted += len(info.owned_extents)
+
+    if store is not None and getattr(store, "_mounted", False):
+        for offset, count in sorted(expected.items()):
+            have = store.extent_refs.get(offset, 0)
+            if have != count:
+                report.add(REFCOUNT,
+                           f"extent {offset}: metadata implies "
+                           f"{count} reference(s), store tracks {have}")
+        for offset, have in sorted(store.extent_refs.items()):
+            if offset not in expected:
+                report.add(REFCOUNT,
+                           f"extent {offset}: store tracks {have} "
+                           f"reference(s) but no checkpoint owns it")
+
+    free_spans = [(pair[0], pair[1]) for pair in superblock["free_list"]]
+    for offset in sorted(expected):
+        length = lengths[offset]
+        for free_off, free_len in free_spans:
+            if offset < free_off + free_len and free_off < offset + length:
+                report.add(FREELIST,
+                           f"live extent [{offset}, {offset + length}) "
+                           f"overlaps free span [{free_off}, "
+                           f"{free_off + free_len})")
+                break
+
+
+def _chain_segment_len(track) -> int:
+    """Objects in the track's chain segment (same logical object),
+    walking from the active top down — the walk
+    :func:`~repro.core.shadowing.merged_chain_pages` performs."""
+    top = track.active
+    length = 0
+    for obj in top.chain():
+        if obj is not top and obj.sls_oid not in (None, top.sls_oid):
+            break
+        length += 1
+    return length
+
+
+def _scan_shadow_chains(sls, report: ScrubReport) -> None:
+    for group in sorted(sls.groups.values(), key=lambda g: g.group_id):
+        for oid, track in sorted(group.tracks.items()):
+            if track.active is None:
+                continue
+            report.chains_checked += 1
+            report.stats["chains"] += 1
+            depth = _chain_segment_len(track) - 1  # shadows above base
+            if depth > MAX_SHADOW_DEPTH:
+                report.add(CHAIN,
+                           f"group {group.group_id} oid {oid}: {depth} "
+                           f"shadows above the chain base "
+                           f"(limit {MAX_SHADOW_DEPTH})")
+
+
+def scrub(store, sls=None) -> ScrubReport:
+    """Scrub the store's on-disk object graph; returns the report.
+
+    ``store`` supplies the device and (when mounted) the in-memory
+    refcounts to cross-check.  Passing the orchestrator as ``sls``
+    additionally checks live groups' shadow-chain invariant.
+    """
+    report = ScrubReport()
+    report.stats["runs"] += 1
+    device = store.device
+
+    slots = _read_superblocks(device)
+    valid = [sb for _slot, sb in slots if sb is not None]
+    report.superblocks_valid = len(valid)
+    if not valid:
+        report.add(SUPERBLOCK, "no valid superblock in either slot")
+        return report
+    superblock = max(valid, key=lambda sb: sb["generation"])
+    report.generation = superblock["generation"]
+
+    catalog_extent = tuple(superblock["catalog_extent"])
+    if not device.has_extent(catalog_extent[0]):
+        report.add(DANGLING,
+                   f"superblock generation {report.generation} points at "
+                   f"missing catalog extent {catalog_extent[0]}")
+        return report
+    try:
+        payload = device.read(catalog_extent[0])
+        if not isinstance(payload, bytes):
+            raise CorruptRecord("catalog extent holds synthetic data")
+        catalog = records.decode(payload, records.REC_CATALOG)
+    except (CorruptRecord, StoreError) as exc:
+        report.add(CHECKSUM, f"catalog extent {catalog_extent[0]}: {exc}")
+        return report
+
+    checkpoints: Dict[int, CheckpointInfo] = {}
+    for ckpt_id, entry in sorted(catalog["checkpoints"].items(),
+                                 key=lambda item: int(item[0])):
+        meta_extent = tuple(entry["meta_extent"])
+        if not device.has_extent(meta_extent[0]):
+            report.add(DANGLING,
+                       f"checkpoint {ckpt_id} metadata extent "
+                       f"{meta_extent[0]} missing", int(ckpt_id))
+            continue
+        try:
+            payload = device.read(meta_extent[0])
+            if not isinstance(payload, bytes):
+                raise CorruptRecord("metadata extent holds synthetic data")
+            meta = records.decode(payload, records.REC_CKPT_META)
+            info = CheckpointInfo.decode_meta(meta)
+        except (CorruptRecord, StoreError) as exc:
+            report.add(CHECKSUM,
+                       f"checkpoint {ckpt_id} metadata: {exc}",
+                       int(ckpt_id))
+            continue
+        info.meta_extent = meta_extent
+        checkpoints[info.ckpt_id] = info
+        report.checkpoints_scanned += 1
+        report.stats["checkpoints"] += 1
+        _scan_checkpoint(store, report, info)
+
+    # Parent pointers must resolve within the catalog (deleted parents
+    # are rewritten out by GC before the old metadata goes away).
+    for info in checkpoints.values():
+        if info.parent is not None and info.parent not in checkpoints \
+                and str(info.parent) not in catalog["checkpoints"]:
+            report.add(DANGLING,
+                       f"checkpoint {info.ckpt_id} parent {info.parent} "
+                       f"is not in the catalog", info.ckpt_id)
+
+    _scan_refcounts(store, report, checkpoints, superblock)
+    if sls is not None:
+        _scan_shadow_chains(sls, report)
+    return report

@@ -1,0 +1,240 @@
+"""The crash-schedule explorer harness.
+
+The property under test is the paper's core promise (§5, §7): a crash
+at *any* instant of a checkpoint leaves the application restorable to
+its last durable checkpoint.  "Any instant" is made enumerable by the
+:class:`~repro.core.faults.FaultPlan` layer: every device write has an
+IO index and the checkpoint pipeline reports every stage boundary, so
+the schedule space of one checkpoint is a finite, deterministic list
+of crash points.
+
+The explorer runs a fixed workload to a known durable state ``V1``,
+dirties it to ``V2``, then takes the probed checkpoint:
+
+* :meth:`CrashScheduleExplorer.probe` runs it twice under an observing
+  plan and asserts the IO trace and stage boundaries are identical —
+  the determinism every crash point depends on.  The probe also finds
+  the *commit point*: the IO index of the superblock flip that makes
+  ``V2`` durable.
+* :meth:`CrashScheduleExplorer.run_point` reruns the workload from
+  scratch, crashes at one schedule point, reboots, remounts and
+  restores — asserting the restored bytes are exactly ``V2`` when the
+  crash came after the commit point and exactly ``V1`` otherwise.
+* :meth:`CrashScheduleExplorer.all_points` enumerates the complete
+  schedule: every stage boundary plus every IO index.
+
+Used by ``tests/test_crashsched.py`` (smoke subset in tier-1, the
+exhaustive sweep under ``-m slow``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro import Machine, load_aurora
+from repro.core.faults import AFTER, BEFORE, FaultPlan, InjectedCrash
+from repro.objstore.store import SUPERBLOCK_SLOTS
+from repro.units import PAGE_SIZE
+
+
+class WorkloadRun:
+    """One booted machine advanced to the pre-checkpoint state."""
+
+    def __init__(self, machine, sls, group, proc, addr):
+        self.machine = machine
+        self.sls = sls
+        self.group = group
+        self.gid = group.group_id
+        self.proc = proc
+        self.addr = addr
+
+
+class CounterAppWorkload:
+    """Deterministic single-process app with two distinguishable states.
+
+    ``V1`` is made durable by a sync checkpoint; the heap is then
+    dirtied to ``V2`` and the *probed* checkpoint (the one the
+    explorer crashes) tries to commit ``V2``.
+    """
+
+    V1 = b"aurora-crashsched-v1"
+    V2 = b"aurora-crashsched-v2"
+    NPAGES = 24
+
+    def boot(self) -> WorkloadRun:
+        machine = Machine()
+        sls = load_aurora(machine)
+        proc = machine.kernel.spawn("app")
+        addr = proc.vmspace.mmap(self.NPAGES * PAGE_SIZE, name="heap")
+        self._fill(proc, addr, self.V1)
+        group = sls.attach(proc, periodic=False)
+        sls.checkpoint(group, name="v1", sync=True)
+        self._fill(proc, addr, self.V2)
+        return WorkloadRun(machine, sls, group, proc, addr)
+
+    def _fill(self, proc, addr: int, tag: bytes) -> None:
+        """Dirty enough real pages that the flush packs more than one
+        stripe-unit data extent (the IO schedule spans devices)."""
+        proc.vmspace.write(addr, tag)
+        for index in range(2, 20):
+            proc.vmspace.write(addr + index * PAGE_SIZE,
+                               tag + b":%d" % index)
+
+    def checkpoint(self, run: WorkloadRun) -> None:
+        run.sls.checkpoint(run.group, name="v2", sync=True)
+
+    def read_state(self, proc, addr: int) -> bytes:
+        return proc.vmspace.read(addr, len(self.V1))
+
+
+class CrashPoint:
+    """One enumerable crash instant of the probed checkpoint."""
+
+    def arm(self, plan: FaultPlan) -> None:
+        raise NotImplementedError
+
+    #: True when V2 must be durable after a crash here (filled in by
+    #: the oracle from the fired event's IO position).
+    def __repr__(self) -> str:
+        return f"<{self}>"
+
+
+class IOCrash(CrashPoint):
+    """Power fails the instant IO ``index`` would be issued."""
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def arm(self, plan: FaultPlan) -> None:
+        plan.crash_at_io(self.index)
+
+    def __str__(self) -> str:
+        return f"io:{self.index}"
+
+
+class StageCrash(CrashPoint):
+    """Power fails at a pipeline stage boundary."""
+
+    def __init__(self, stage: str, edge: str = BEFORE):
+        self.stage = stage
+        self.edge = edge
+
+    def arm(self, plan: FaultPlan) -> None:
+        plan.crash_at_stage(self.stage, self.edge)
+
+    def __str__(self) -> str:
+        return f"stage:{self.edge}-{self.stage}"
+
+
+class Schedule:
+    """The probed checkpoint's complete, deterministic schedule."""
+
+    def __init__(self, io_log: List[int],
+                 boundaries: List[Tuple[str, str]]):
+        self.io_log = io_log
+        self.io_count = len(io_log)
+        self.boundaries = boundaries
+        #: IO index of the superblock flip that makes V2 durable: the
+        #: first write to a superblock slot during the probed
+        #: checkpoint.  A crash strictly after it restores V2.
+        self.flip_index = next(
+            (i for i, off in enumerate(io_log)
+             if off in SUPERBLOCK_SLOTS), None)
+
+    def __repr__(self) -> str:
+        return (f"Schedule({self.io_count} IOs, "
+                f"{len(self.boundaries)} boundaries, "
+                f"flip@{self.flip_index})")
+
+
+class Outcome:
+    """What one crash-schedule run observed."""
+
+    def __init__(self, point: CrashPoint, fired: bool, submitted: int,
+                 restored: bytes, expected: bytes):
+        self.point = point
+        self.fired = fired
+        #: IOs fully submitted when the crash fired.
+        self.submitted = submitted
+        self.restored = restored
+        self.expected = expected
+
+    @property
+    def ok(self) -> bool:
+        return self.fired and self.restored == self.expected
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "MISMATCH"
+        return f"Outcome({self.point}, {status})"
+
+
+class CrashScheduleExplorer:
+    """Enumerates and executes every crash point of one checkpoint."""
+
+    def __init__(self, workload: Optional[CounterAppWorkload] = None):
+        self.workload = workload or CounterAppWorkload()
+
+    # -- schedule discovery -------------------------------------------------
+
+    def _observe(self) -> FaultPlan:
+        run = self.workload.boot()
+        plan = FaultPlan(name="probe")
+        run.machine.set_fault_plan(plan)
+        self.workload.checkpoint(run)
+        return plan
+
+    def probe(self) -> Schedule:
+        """Discover the schedule and assert it is deterministic."""
+        first = self._observe()
+        second = self._observe()
+        assert first.io_log == second.io_log, \
+            "probed checkpoint's IO trace is not deterministic"
+        assert first.boundaries_seen == second.boundaries_seen, \
+            "probed checkpoint's stage boundaries are not deterministic"
+        schedule = Schedule(first.io_log, first.boundaries_seen)
+        assert schedule.io_count > 0, "probed checkpoint issued no IO"
+        assert schedule.flip_index is not None, \
+            "probed checkpoint never flipped the superblock"
+        return schedule
+
+    def all_points(self, schedule: Schedule) -> List[CrashPoint]:
+        """The complete schedule: every boundary, every IO index."""
+        points: List[CrashPoint] = [StageCrash(stage, edge)
+                                    for stage, edge in schedule.boundaries]
+        points.extend(IOCrash(index)
+                      for index in range(schedule.io_count))
+        return points
+
+    # -- executing one point ------------------------------------------------
+
+    def run_point(self, point: CrashPoint, schedule: Schedule) -> Outcome:
+        """Crash at ``point``, reboot, restore, check the oracle."""
+        workload = self.workload
+        run = workload.boot()
+        plan = FaultPlan(name=str(point))
+        point.arm(plan)
+        run.machine.set_fault_plan(plan)
+        fired = False
+        try:
+            workload.checkpoint(run)
+        except InjectedCrash:
+            fired = True
+        assert plan.fired, f"{point}: scheduled crash never fired"
+        fired = True
+        submitted = plan.events[0].io_index
+        # The oracle: V2 is durable iff the superblock flip write was
+        # fully submitted before the power failed.
+        expected = (workload.V2 if submitted > schedule.flip_index
+                    else workload.V1)
+
+        run.machine.crash()
+        run.machine.boot()
+        sls = load_aurora(run.machine)
+        result = sls.restore(run.gid, periodic=False)
+        restored = workload.read_state(result.root, run.addr)
+        return Outcome(point, fired, submitted, restored, expected)
+
+    def sweep(self, points: List[CrashPoint],
+              schedule: Schedule) -> List[Outcome]:
+        """Run every point; returns the outcomes (callers assert)."""
+        return [self.run_point(point, schedule) for point in points]

@@ -1,0 +1,220 @@
+"""Crash-schedule exploration: a crash at *any* instant of a
+checkpoint restores the last durable checkpoint (§5, §7).
+
+The smoke tests (tier-1) cover every pipeline stage boundary plus a
+fixed-seed sample of IO indices; the exhaustive sweep over every IO
+index of a full checkpoint/commit runs under ``-m slow`` (CI's
+crash-schedule job).  The remaining tests exercise the other fault
+kinds: torn superblock writes, injected ENOSPC, silent bit flips.
+"""
+
+import random
+
+import pytest
+
+from repro import Machine, load_aurora
+from repro.core.faults import (AFTER, BEFORE, FaultPlan, InjectedCrash,
+                               NOSPACE)
+from repro.core.pipeline import STAGE_ORDER
+from repro.errors import CorruptRecord, NoSpace
+from repro.hw.memory import Page
+from repro.objstore.oid import CLASS_MEMORY, make_oid
+from repro.objstore.store import ObjectStore
+from repro.units import PAGE_SIZE
+
+from tests.crashsched import (CounterAppWorkload, CrashScheduleExplorer,
+                              IOCrash, StageCrash)
+
+SMOKE_SEED = 0xA0DA
+SMOKE_IO_SAMPLES = 3
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return CrashScheduleExplorer()
+
+
+@pytest.fixture(scope="module")
+def schedule(explorer):
+    """Probed (and determinism-checked) schedule, shared per module."""
+    return explorer.probe()
+
+
+def test_probe_covers_every_stage_boundary(schedule):
+    """The schedule space includes all N+1 boundaries of the §4.1
+    pipeline, in order."""
+    expected = [(stage, BEFORE) for stage in STAGE_ORDER]
+    expected.append((STAGE_ORDER[-1], AFTER))
+    assert schedule.boundaries == expected
+
+
+def test_probe_finds_commit_point(schedule):
+    """The superblock flip is inside the IO schedule, not at its very
+    start (data and records precede it)."""
+    assert 0 < schedule.flip_index < schedule.io_count
+
+
+def test_crash_at_every_stage_boundary_restores_durable_state(
+        explorer, schedule):
+    """Tier-1 slice of the sweep: all stage boundaries."""
+    points = [StageCrash(stage, edge)
+              for stage, edge in schedule.boundaries]
+    outcomes = explorer.sweep(points, schedule)
+    assert all(outcome.ok for outcome in outcomes), \
+        [outcome for outcome in outcomes if not outcome.ok]
+    # Boundaries before the flush see V1; the final boundary sees V2.
+    assert outcomes[0].restored == CounterAppWorkload.V1
+    assert outcomes[-1].restored == CounterAppWorkload.V2
+
+
+def test_crash_at_sampled_io_indices_restores_durable_state(
+        explorer, schedule):
+    """Tier-1 slice: a fixed-seed sample of IO indices, always
+    including the commit point itself and its immediate successor."""
+    rng = random.Random(SMOKE_SEED)
+    indices = {schedule.flip_index, schedule.flip_index + 1}
+    indices.update(rng.sample(range(schedule.io_count), SMOKE_IO_SAMPLES))
+    indices = {index for index in indices if index < schedule.io_count}
+    outcomes = explorer.sweep([IOCrash(index)
+                               for index in sorted(indices)], schedule)
+    assert all(outcome.ok for outcome in outcomes), \
+        [outcome for outcome in outcomes if not outcome.ok]
+
+
+@pytest.mark.slow
+def test_exhaustive_crash_schedule_sweep(explorer, schedule):
+    """Every stage boundary AND every IO index of one full
+    checkpoint/commit — the complete schedule, with exhaustiveness
+    asserted — restores to the last durable checkpoint."""
+    points = explorer.all_points(schedule)
+    # Exhaustiveness: all N+1 stage boundaries...
+    stage_points = [p for p in points if isinstance(p, StageCrash)]
+    assert {(p.stage, p.edge) for p in stage_points} == \
+        set([(s, BEFORE) for s in STAGE_ORDER] + [(STAGE_ORDER[-1], AFTER)])
+    # ...and every IO index of the commit, gap-free.
+    io_points = [p for p in points if isinstance(p, IOCrash)]
+    assert [p.index for p in io_points] == list(range(schedule.io_count))
+    assert schedule.io_count > 0
+
+    outcomes = explorer.sweep(points, schedule)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    assert not failures, failures
+    # Both durable states were actually exercised by the sweep.
+    restored = {outcome.restored for outcome in outcomes}
+    assert restored == {CounterAppWorkload.V1, CounterAppWorkload.V2}
+
+
+def test_torn_superblock_write_falls_back_to_previous_checkpoint(
+        explorer, schedule):
+    """Tearing the commit's superblock flip (half the record lands,
+    then power fails) must leave the previous generation live."""
+    workload = explorer.workload
+    run = workload.boot()
+    plan = FaultPlan(name="torn-flip").torn_at_io(schedule.flip_index)
+    run.machine.set_fault_plan(plan)
+    with pytest.raises(InjectedCrash):
+        workload.checkpoint(run)
+    run.machine.crash()
+    run.machine.boot()
+    sls = load_aurora(run.machine)
+    result = sls.restore(run.gid, periodic=False)
+    assert workload.read_state(result.root, run.addr) == workload.V1
+
+
+def test_injected_nospace_fails_checkpoint_not_history(explorer, schedule):
+    """ENOSPC mid-flush fails the checkpoint cleanly; after a crash
+    the prior checkpoint still restores."""
+    workload = explorer.workload
+    run = workload.boot()
+    plan = FaultPlan(name="enospc").nospace_at_io(1)
+    run.machine.set_fault_plan(plan)
+    with pytest.raises(NoSpace):
+        workload.checkpoint(run)
+    assert plan.events[0].kind == NOSPACE
+    run.machine.crash()
+    run.machine.boot()
+    sls = load_aurora(run.machine)
+    result = sls.restore(run.gid, periodic=False)
+    assert workload.read_state(result.root, run.addr) == workload.V1
+
+
+def test_bitflip_corrupts_record_detectably():
+    """A silent bit flip in an object record write is caught by the
+    record checksum on read-back."""
+    machine = Machine()
+    store = ObjectStore(machine)
+    store.format()
+    machine.set_fault_plan(FaultPlan(name="flip").bitflip_at_io(0))
+    txn = store.begin_checkpoint(group_id=7)
+    txn.put_object(make_oid(CLASS_MEMORY, 1), "vmobject",
+                   {"size_pages": 1})
+    info = store.commit(txn, sync=True)
+    oid = next(iter(info.object_records))
+    with pytest.raises(CorruptRecord):
+        store.read_object_record(info.object_records[oid])
+
+
+def test_seeded_random_plans_are_reproducible(schedule):
+    """FaultPlan.random is a pure function of its seed — the CI smoke
+    subset depends on replayable fault schedules."""
+    for seed in (1, 2, 0xBEEF):
+        first = FaultPlan.random(seed, schedule.io_count,
+                                 schedule.boundaries)
+        second = FaultPlan.random(seed, schedule.io_count,
+                                  schedule.boundaries)
+        assert first.describe() == second.describe()
+
+
+@pytest.mark.slow
+def test_seeded_random_fault_campaign(explorer, schedule):
+    """A fixed-seed campaign of randomized single-fault plans: crashes
+    restore durable state; ENOSPC surfaces cleanly; bit flips and torn
+    non-commit writes never corrupt what a restore returns silently
+    into a *wrong* durable state (restores yield V1 or V2 exactly, or
+    fail loudly)."""
+    workload = explorer.workload
+    for seed in range(12):
+        run = workload.boot()
+        plan = FaultPlan.random(seed, schedule.io_count,
+                                schedule.boundaries)
+        run.machine.set_fault_plan(plan)
+        try:
+            workload.checkpoint(run)
+        except (InjectedCrash, NoSpace):
+            pass
+        run.machine.crash()
+        run.machine.boot()
+        sls = load_aurora(run.machine)
+        try:
+            result = sls.restore(run.gid, periodic=False)
+        except CorruptRecord:
+            continue  # loud failure is acceptable for silent bit flips
+        state = workload.read_state(result.root, run.addr)
+        assert state in (workload.V1, workload.V2), \
+            f"seed {seed} ({plan.describe()}): restored garbage {state!r}"
+
+
+def test_crash_mid_pipeline_leaves_prior_checkpoint_for_multiproc():
+    """A richer workload (forked child + shared pages) crashed between
+    shadow and serialize still restores its durable checkpoint."""
+    machine = Machine()
+    sls = load_aurora(machine)
+    kernel = machine.kernel
+    parent = kernel.spawn("parent")
+    addr = parent.vmspace.mmap(4 * PAGE_SIZE, name="heap")
+    parent.vmspace.write(addr, b"durable")
+    group = sls.attach(parent, periodic=False)
+    kernel.fork(parent, name="child")
+    sls.checkpoint(group, sync=True)
+    gid = group.group_id
+    parent.vmspace.write(addr, b"doomed!")
+    machine.set_fault_plan(
+        FaultPlan(name="mid").crash_at_stage("serialize", BEFORE))
+    with pytest.raises(InjectedCrash):
+        sls.checkpoint(group, sync=True)
+    machine.crash()
+    machine.boot()
+    sls2 = load_aurora(machine)
+    result = sls2.restore(gid, periodic=False)
+    assert result.root.vmspace.read(addr, 7) == b"durable"
+    assert {p.name for p in result.processes} == {"parent", "child"}

@@ -17,7 +17,27 @@ from repro.units import GiB, KiB, MiB, PAGE_SIZE
 MEM_OID = make_oid(CLASS_MEMORY, 99)
 
 
-def _store_with_chain(machine, nckpts=3):
+@pytest.fixture(params=["sync", "async"])
+def commit_mode(request):
+    """Every failure here must hold on both commit paths: the blocking
+    sls_checkpoint+barrier one and the continuous (async) one."""
+    return request.param
+
+
+def _commit(machine, store, txn, mode):
+    """Commit ``txn`` via the requested path, to durability."""
+    if mode == "sync":
+        return store.commit(txn, sync=True)
+    info = store.commit(txn, sync=False)
+    while not info.complete:
+        deadline = store.pending_commit_deadline(info.group_id)
+        assert deadline is not None, "async commit stalled incomplete"
+        machine.loop.run_until(deadline)
+        machine.storage.poll()
+    return info
+
+
+def _store_with_chain(machine, nckpts=3, mode="sync"):
     store = ObjectStore(machine)
     store.format()
     parent = None
@@ -25,7 +45,7 @@ def _store_with_chain(machine, nckpts=3):
     for index in range(nckpts):
         txn = store.begin_checkpoint(group_id=4, parent=parent)
         txn.put_pages(MEM_OID, {0: Page(seed=index)})
-        info = store.commit(txn, sync=True)
+        info = _commit(machine, store, txn, mode)
         infos.append(info)
         parent = info.ckpt_id
     return store, infos
@@ -39,9 +59,9 @@ def _corrupt_extent(machine, offset):
         machine.storage.write(offset, flipped)
 
 
-def test_corrupt_newest_superblock_falls_back():
+def test_corrupt_newest_superblock_falls_back(commit_mode):
     machine = Machine()
-    store, infos = _store_with_chain(machine)
+    store, infos = _store_with_chain(machine, mode=commit_mode)
     newest_slot = SUPERBLOCK_SLOTS[store._generation % 2]
     machine.crash()
     machine.boot()
@@ -55,9 +75,9 @@ def test_corrupt_newest_superblock_falls_back():
         store2.fetch_page(pages[MEM_OID][0])
 
 
-def test_corrupt_catalog_falls_back_a_generation():
+def test_corrupt_catalog_falls_back_a_generation(commit_mode):
     machine = Machine()
-    store, infos = _store_with_chain(machine)
+    store, infos = _store_with_chain(machine, mode=commit_mode)
     catalog_offset = store._catalog_extent[0]
     machine.crash()
     machine.boot()
@@ -68,11 +88,11 @@ def test_corrupt_catalog_falls_back_a_generation():
     assert len(store2.checkpoints) >= 1
 
 
-def test_both_superblocks_corrupt_reads_as_blank():
+def test_both_superblocks_corrupt_reads_as_blank(commit_mode):
     """With no valid superblock at all the array is indistinguishable
     from unformatted: mount() reports that rather than guessing."""
     machine = Machine()
-    store, _infos = _store_with_chain(machine)
+    store, _infos = _store_with_chain(machine, mode=commit_mode)
     machine.crash()
     machine.boot()
     for slot in SUPERBLOCK_SLOTS:
@@ -81,13 +101,13 @@ def test_both_superblocks_corrupt_reads_as_blank():
     assert not store2.mount()
 
 
-def test_torn_page_extent_detected_on_read():
+def test_torn_page_extent_detected_on_read(commit_mode):
     machine = Machine()
     store = ObjectStore(machine)
     store.format()
     txn = store.begin_checkpoint(group_id=4)
     txn.put_pages(MEM_OID, {0: Page(data=b"real bytes" * 40)})
-    info = store.commit(txn, sync=True)
+    info = _commit(machine, store, txn, commit_mode)
     _records, pages = store.merged_view(info.ckpt_id)
     locator = pages[MEM_OID][0]
     # Corrupt the data extent, then try to read the page back.
@@ -102,14 +122,16 @@ def test_torn_page_extent_detected_on_read():
     assert page.realize() != Page(data=b"real bytes" * 40).realize()
 
 
-def test_store_full_surfaces_cleanly():
+def test_store_full_surfaces_cleanly(commit_mode):
+    """ENOSPC is raised at commit() on both paths: extents are
+    allocated up front, before any write is queued."""
     machine = Machine(capacity_per_device=2 * MiB)
     store = ObjectStore(machine)
     store.format()
     txn = store.begin_checkpoint(group_id=4)
     txn.put_pages(MEM_OID, {i: Page(seed=i) for i in range(4096)})
     with pytest.raises(StoreFull):
-        store.commit(txn, sync=True)
+        store.commit(txn, sync=(commit_mode == "sync"))
 
 
 def test_checkpoint_on_full_store_does_not_corrupt_previous():
