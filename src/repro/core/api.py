@@ -185,3 +185,4 @@ class AuroraAPI:
         descriptor — e.g. read-only client connections (§3)."""
         file = self.proc.fdtable.get(fd)
         file.sls_nosync = nosync
+        file.mark_dirty()

@@ -15,6 +15,7 @@ workload that the Table 2 verbs can then operate on.
     sls checkpoint /tmp/aurora.img 2 --name before-upgrade
     sls restore /tmp/aurora.img 2
     sls scrub /tmp/aurora.img
+    sls diff /tmp/aurora.img 2
     sls dump /tmp/aurora.img 2 -o core.elf
     sls send /tmp/aurora.img 2 -o app.stream
     sls recv /tmp/other.img app.stream
@@ -295,10 +296,74 @@ def cmd_dump(args) -> int:
     """``sls dump``: write an ELF core of the restored state."""
     _machine, sls = _load(args.image)
     result = _restore_group(sls, args.group)
+    info = sls.store.get_checkpoint(result.ckpt_id)
     core = dump_process(result.root)
     with open(args.output, "wb") as handle:
         handle.write(core)
     print(f"wrote {fmt_size(len(core))} ELF core to {args.output}")
+    print(f"source checkpoint {info.ckpt_id}: "
+          f"{len(info.object_records)} record(s) in delta, "
+          f"{info.records_skipped} skipped as unchanged")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """``sls diff``: what changed between two checkpoints.
+
+    Compares the merged (restorable) views at the two checkpoints:
+    object records added, re-written, or deleted, and how many page
+    locators changed.  Defaults to the group's last two checkpoints —
+    the observability hook for incremental checkpoint deltas.
+    """
+    _machine, sls = _load(args.image)
+    store = sls.store
+    chain = store.checkpoints_for(args.group, include_partial=True)
+    ids = [info.ckpt_id for info in chain]
+    if args.ckpt_a is not None:
+        ckpt_a = args.ckpt_a
+    elif len(ids) >= 2:
+        ckpt_a = ids[-2]
+    else:
+        print(f"group {args.group} needs two checkpoints to diff "
+              f"(has {len(ids)})")
+        return 1
+    ckpt_b = args.ckpt_b if args.ckpt_b is not None else ids[-1]
+
+    records_a, pages_a = store.merged_view(ckpt_a)
+    records_b, pages_b = store.merged_view(ckpt_b)
+    added = sorted(set(records_b) - set(records_a))
+    deleted = sorted(set(records_a) - set(records_b))
+    rewritten = sorted(oid for oid in records_b
+                       if oid in records_a
+                       and records_b[oid] != records_a[oid])
+
+    pages_changed = 0
+    for oid in set(pages_a) | set(pages_b):
+        map_a = pages_a.get(oid, {})
+        map_b = pages_b.get(oid, {})
+        for pindex in set(map_a) | set(map_b):
+            loc_a = map_a.get(pindex)
+            loc_b = map_b.get(pindex)
+            if (loc_a is None) != (loc_b is None) \
+                    or (loc_a is not None and loc_b is not None
+                        and loc_a.encode() != loc_b.encode()):
+                pages_changed += 1
+
+    print(f"diff of group {args.group}: checkpoint {ckpt_a} -> {ckpt_b}")
+    print(f"  records: {len(rewritten)} rewritten, {len(added)} added, "
+          f"{len(deleted)} deleted ({len(records_b)} live)")
+    print(f"  pages:   {pages_changed} changed")
+
+    def _fmt(oids) -> str:
+        head = ", ".join(str(oid) for oid in oids[:12])
+        return head + (", ..." if len(oids) > 12 else "")
+
+    if rewritten:
+        print(f"  rewritten oids: {_fmt(rewritten)}")
+    if added:
+        print(f"  added oids:     {_fmt(added)}")
+    if deleted:
+        print(f"  deleted oids:   {_fmt(deleted)}")
     return 0
 
 
@@ -389,6 +454,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("image")
     p.add_argument("group", type=int)
     p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser("diff", help="changes between two checkpoints")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("ckpt_a", type=int, nargs="?",
+                   help="older checkpoint (default: second newest)")
+    p.add_argument("ckpt_b", type=int, nargs="?",
+                   help="newer checkpoint (default: newest)")
+    p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser("dump", help="write an ELF coredump")
     p.add_argument("image")

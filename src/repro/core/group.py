@@ -62,6 +62,11 @@ class ConsistencyGroup:
         #: The newest checkpoint ids.
         self.last_ckpt_id: Optional[int] = None
         self.last_complete_id: Optional[int] = None
+        #: Kernel mutation epoch captured by the group's last flushed
+        #: checkpoint: the serializer skips objects at or below this
+        #: floor.  None until the first disk checkpoint commits (and
+        #: again after restore), which forces a full serialization.
+        self.ckpt_epoch: Optional[int] = None
         #: Members that exited since the previous checkpoint (their
         #: OIDs must stop being serialized).
         self.departed: Set[int] = set()

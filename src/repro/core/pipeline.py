@@ -62,6 +62,8 @@ class MemTxn:
     class _Info:
         ckpt_id = -1
         data_bytes = 0
+        live_oids = None
+        records_skipped = 0
 
     def __init__(self, store):
         self.store = store
@@ -132,6 +134,12 @@ class CheckpointContext:
         self.flush_items: List = []
         self.info = None
         self.trace: List[StageTrace] = []
+        #: Incremental-serialization accounting (filled by Serialize).
+        self.records_written = 0
+        self.records_skipped = 0
+        #: Epoch floor to install once this checkpoint's commit is
+        #: submitted (Flush); None until Serialize snapshots it.
+        self.new_epoch_floor: Optional[int] = None
 
     def stop_time_ns(self) -> int:
         """Elapsed time across the stop-time stages recorded so far."""
@@ -196,12 +204,33 @@ class Serialize(Stage):
     name = "serialize"
 
     def run(self, ctx: CheckpointContext) -> None:
+        # Incremental serialization: skip records unchanged since the
+        # group's epoch floor.  ``full=True`` (and the first checkpoint
+        # of a chain, floor None) serializes everything.
+        floor = None if ctx.full else ctx.group.ckpt_epoch
         serializer = CheckpointSerializer(ctx.kernel, ctx.group,
-                                          ctx.store, ctx.txn)
+                                          ctx.store, ctx.txn,
+                                          epoch_floor=floor)
         serializer.serialize_all()
+        live = set(serializer.live_oids)
         for item in ctx.flush_items:
             ctx.txn.put_object(item.oid, "vmobject", item.record)
             ctx.txn.put_pages(item.oid, item.pages)
+            live.add(item.oid)
+        # Every tracked memory object stays live while its track
+        # exists, whether or not it was dirtied this period.
+        live.update(ctx.group.tracks.keys())
+        ctx.records_written = (serializer.records_written +
+                               len(ctx.flush_items))
+        ctx.records_skipped = serializer.records_skipped
+        ctx.txn.info.live_oids = live
+        ctx.txn.info.records_skipped = ctx.records_skipped
+        if ctx.mode == MODE_DISK:
+            # Snapshot the epoch under quiescence; Flush installs it as
+            # the group's floor only once the commit is submitted, so a
+            # failed flush never loses dirty state.
+            ctx.new_epoch_floor = ctx.kernel.dirty_epoch
+            ctx.kernel.dirty_epoch += 1
         ctx.clock.advance(costs.CKPT_ORCH_BASE if ctx.mode == MODE_DISK
                           else costs.CKPT_ATOMIC_BASE)
 
@@ -264,6 +293,11 @@ class Flush(Stage):
         ctx.info = store.commit(ctx.txn, sync=ctx.sync,
                                 on_complete=on_complete)
         group.last_ckpt_id = ctx.info.ckpt_id
+        if ctx.new_epoch_floor is not None:
+            # The commit was accepted (no ENOSPC / injected fault on
+            # submission): subsequent checkpoints may skip objects
+            # unchanged since this epoch.
+            group.ckpt_epoch = ctx.new_epoch_floor
 
 
 class Commit(Stage):
@@ -314,6 +348,10 @@ class CheckpointResult:
         self.serialize_ns = 0
         self.pages_flushed = 0
         self.bytes_staged = 0
+        #: Object records staged vs. skipped as unchanged (incremental
+        #: kernel-state checkpoints).
+        self.records_written = 0
+        self.records_skipped = 0
 
     @classmethod
     def from_context(cls, ctx: CheckpointContext) -> "CheckpointResult":
@@ -329,6 +367,8 @@ class CheckpointResult:
         result.pages_flushed = sum(len(item.pages)
                                    for item in ctx.flush_items)
         result.bytes_staged = ctx.txn.staged_bytes()
+        result.records_written = ctx.records_written
+        result.records_skipped = ctx.records_skipped
         return result
 
     def stage_ns(self, name: str) -> int:

@@ -7,13 +7,25 @@ table slots naming one OpenFile produce one record; two OpenFiles over
 one vnode produce two file records referencing one vnode record — the
 POSIX object model of §5.2.
 
+Incremental checkpoints: when ``epoch_floor`` is set, objects whose
+``dirty_epoch`` is at or below the floor are *walked* (for OID
+liveness and to reach dirty children) but their unchanged records are
+not re-written — the restore path resolves them from older deltas via
+:meth:`~repro.objstore.store.ObjectStore.merged_view`.  The walked OID
+set (:attr:`live_oids`) is recorded per checkpoint so a delta can
+distinguish "unchanged" from "deleted".  Processes and the group
+descriptor are always re-serialized: their records embed per-thread
+CPU state that changes every instant.
+
 Each serializer charges the calibrated cost from Table 4; the costs
-module documents the calibration.
+module documents the calibration.  Skipped objects charge nothing —
+the per-object cost of an incremental checkpoint is proportional to
+the dirty set, which is the point.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from ..errors import InvalidArgument, PermissionDenied
 from ..kernel.fs.file import (DTYPE_DEVICE, DTYPE_KQUEUE, DTYPE_PIPE,
@@ -27,30 +39,52 @@ from . import costs, telemetry
 class CheckpointSerializer:
     """Serializes one consistency group's OS state into a txn."""
 
-    def __init__(self, kernel, group, store, txn):
+    def __init__(self, kernel: Any, group: Any, store: Any, txn: Any,
+                 epoch_floor: Optional[int] = None) -> None:
         self.kernel = kernel
         self.group = group
         self.store = store
         self.txn = txn
-        #: OIDs already serialized in this pass (dedup).
+        #: Objects whose ``dirty_epoch`` ≤ the floor were captured by a
+        #: previous checkpoint of this chain; None forces a full pass.
+        self.epoch_floor = epoch_floor
+        #: OIDs already visited in this pass (dedup).
         self._done: Set[int] = set()
+        #: Every OID the walk reached — the checkpoint's live set.
+        self.live_oids: Set[int] = set()
+        #: Records actually staged vs. skipped as unchanged.
+        self.records_written = 0
+        self.records_skipped = 0
 
     # -- helpers -----------------------------------------------------------------
 
-    def _oid(self, kobj, obj_class: int = CLASS_POSIX) -> int:
-        return self.group.oid_for(kobj, self.store, obj_class)
+    def _oid(self, kobj: Any, obj_class: int = CLASS_POSIX) -> int:
+        oid = self.group.oid_for(kobj, self.store, obj_class)
+        self.live_oids.add(oid)
+        return oid
 
-    def _put_once(self, kobj, otype: str, state: dict,
-                  obj_class: int = CLASS_POSIX) -> int:
+    def _clean(self, kobj: Any) -> bool:
+        """True when the object is unchanged since the epoch floor."""
+        if self.epoch_floor is None:
+            return False
+        epoch = getattr(kobj, "dirty_epoch", None)
+        return epoch is not None and epoch <= self.epoch_floor
+
+    def _put_once(self, kobj: Any, otype: str, state: Dict[str, Any],
+                  obj_class: int = CLASS_POSIX, force: bool = False) -> int:
         oid = self._oid(kobj, obj_class)
         if oid not in self._done:
             self._done.add(oid)
-            self.txn.put_object(oid, otype, state)
+            if not force and self._clean(kobj):
+                self.records_skipped += 1
+            else:
+                self.txn.put_object(oid, otype, state)
+                self.records_written += 1
         return oid
 
     # -- top level --------------------------------------------------------------------
 
-    def serialize_all(self) -> dict:
+    def serialize_all(self) -> Dict[str, Any]:
         """Serialize the whole group; returns the group descriptor."""
         member_oids = []
         for proc in self.group.persistent_processes():
@@ -75,16 +109,27 @@ class CheckpointSerializer:
             # barrier); failures are recorded as-is.
             "aio": self.kernel.aio.quiesce(),
         }
+        # The descriptor is always-dirty: member lists and aio state
+        # are recomputed every checkpoint.
         self.txn.put_object(self.group.desc_oid, "group", descriptor)
-        telemetry.registry().counter(
-            "sls.serialize.records",
-            group=self.group.group_id).add(len(self._done) + 1)
+        self.records_written += 1
+        if self.group.desc_oid is not None:
+            self.live_oids.add(self.group.desc_oid)
+        registry = telemetry.registry()
+        registry.counter("sls.serialize.records",
+                         group=self.group.group_id).add(self.records_written)
+        registry.counter("sls.serialize.records_skipped",
+                         group=self.group.group_id).add(self.records_skipped)
         return descriptor
 
     # -- processes ---------------------------------------------------------------------
 
-    def serialize_process(self, proc) -> int:
-        """One process: identity, threads, map entries, fd table."""
+    def serialize_process(self, proc: Any) -> int:
+        """One process: identity, threads, map entries, fd table.
+
+        Processes are always-dirty: thread CPU state mutates on every
+        quiesce, so there is nothing to skip.
+        """
         self.kernel.clock.advance(costs.CKPT_PROC_BASE)
         threads = []
         for thread in proc.threads:
@@ -115,9 +160,9 @@ class CheckpointSerializer:
             "entries": entries,
             "fdtable_oid": fdtable_oid,
         }
-        return self._put_once(proc, "proc", state)
+        return self._put_once(proc, "proc", state, force=True)
 
-    def serialize_entry(self, entry) -> dict:
+    def serialize_entry(self, entry: Any) -> Dict[str, Any]:
         """One vm_map_entry: range, protection, object reference."""
         obj = entry.vmobject
         segment = self.kernel.shm_backmap.get(obj.kid)
@@ -132,6 +177,7 @@ class CheckpointSerializer:
             vm_oid = None
         elif obj.sls_oid is not None:
             vm_oid = obj.sls_oid
+            self.live_oids.add(vm_oid)
         else:
             vm_oid = None
         return {
@@ -148,8 +194,13 @@ class CheckpointSerializer:
 
     # -- descriptors ----------------------------------------------------------------------
 
-    def serialize_fdtable(self, fdtable) -> int:
-        """The fd table: slot -> OpenFile OID (sharing preserved)."""
+    def serialize_fdtable(self, fdtable: Any) -> int:
+        """The fd table: slot -> OpenFile OID (sharing preserved).
+
+        Every slot is walked (the files behind clean tables can still
+        be dirty), but a table whose slot layout did not change skips
+        its own record.
+        """
         fds = {}
         for fd, file in fdtable.items():
             self.kernel.clock.advance(costs.CKPT_FILE_DESC)
@@ -167,7 +218,7 @@ class CheckpointSerializer:
         }
         return self._put_once(file, "file", state)
 
-    def serialize_fobj(self, fobj, ftype: str) -> int:
+    def serialize_fobj(self, fobj: Any, ftype: str) -> int:
         """Dispatch to the type-specific object serializer."""
         if ftype == DTYPE_VNODE:
             return self.serialize_vnode(fobj)
@@ -187,9 +238,16 @@ class CheckpointSerializer:
 
     # -- individual object types (Table 4) ------------------------------------------------------
 
-    def serialize_vnode(self, vnode) -> int:
+    def serialize_vnode(self, vnode: Any) -> int:
         """Vnodes are checkpointed as an inode reference — no namei or
         name-cache walk (§5.2), hence Table 4's 1.7 µs."""
+        oid = self._oid(vnode, CLASS_FILE)
+        if oid in self._done:
+            return oid
+        self._done.add(oid)
+        if self._clean(vnode):
+            self.records_skipped += 1
+            return oid
         self.kernel.clock.advance(costs.CKPT_VNODE)
         state = {
             "inode": vnode.inode,
@@ -198,19 +256,18 @@ class CheckpointSerializer:
             "size": vnode.size,
             "link_count": vnode.link_count,
         }
-        oid = self._oid(vnode, CLASS_FILE)
-        if oid not in self._done:
-            self._done.add(oid)
-            self.txn.put_object(oid, "vnode", state)
-            if vnode.fs.fs_type != "slsfs" and vnode.vmobject is not None:
-                # Volatile filesystems get their data embedded in the
-                # checkpoint; the Aurora FS persists data itself.
-                self.txn.put_pages(oid, dict(vnode.vmobject.pages))
+        self.txn.put_object(oid, "vnode", state)
+        self.records_written += 1
+        if vnode.fs.fs_type != "slsfs" and vnode.vmobject is not None:
+            # Volatile filesystems get their data embedded in the
+            # checkpoint; the Aurora FS persists data itself.
+            self.txn.put_pages(oid, dict(vnode.vmobject.pages))
         return oid
 
-    def serialize_pipe(self, pipe) -> int:
+    def serialize_pipe(self, pipe: Any) -> int:
         """A pipe: buffer contents + endpoint liveness (Table 4)."""
-        self.kernel.clock.advance(costs.CKPT_PIPE)
+        if not self._clean(pipe):
+            self.kernel.clock.advance(costs.CKPT_PIPE)
         return self._put_once(pipe, "pipe", {
             "buffer": bytes(pipe.buffer),
             "capacity": pipe.capacity,
@@ -218,7 +275,7 @@ class CheckpointSerializer:
             "write_open": pipe.write_open,
         })
 
-    def serialize_socket(self, sock) -> int:
+    def serialize_socket(self, sock: Any) -> int:
         """Dispatch UNIX/UDP/TCP socket serialization."""
         if sock.obj_type == "unixsock":
             return self.serialize_unix_socket(sock)
@@ -228,10 +285,12 @@ class CheckpointSerializer:
             return self.serialize_tcp(sock)
         raise InvalidArgument(f"unknown socket type {sock.obj_type}")
 
-    def serialize_unix_socket(self, sock) -> int:
+    def serialize_unix_socket(self, sock: Any) -> int:
         """UNIX sockets: the buffer is *parsed* for control messages so
-        every in-flight descriptor is chased and persisted (§5.3)."""
-        self.kernel.clock.advance(costs.CKPT_SOCKET)
+        every in-flight descriptor is chased and persisted (§5.3).
+
+        The chase runs even for a clean socket: an in-flight file is
+        live (and possibly dirty) whether or not the queue changed."""
         oid = self._oid(sock)
         if oid in self._done:
             return oid
@@ -245,6 +304,10 @@ class CheckpointSerializer:
                 if message.control.creds is not None:
                     entry["creds"] = list(message.control.creds)
             messages.append(entry)
+        if self._clean(sock):
+            self.records_skipped += 1
+            return oid
+        self.kernel.clock.advance(costs.CKPT_SOCKET)
         peer_oid = None
         if sock.peer is not None:
             peer_oid = self.group.oid_map.get(sock.peer.kid)
@@ -258,11 +321,13 @@ class CheckpointSerializer:
             "peer_oid": peer_oid,
             "options": dict(sock.options),
         })
+        self.records_written += 1
         return oid
 
-    def serialize_udp(self, sock) -> int:
+    def serialize_udp(self, sock: Any) -> int:
         """A UDP socket: binding, options, queued datagrams (§5.3)."""
-        self.kernel.clock.advance(costs.CKPT_SOCKET)
+        if not self._clean(sock):
+            self.kernel.clock.advance(costs.CKPT_SOCKET)
         return self._put_once(sock, "udpsock", {
             "laddr": sock.laddr,
             "lport": sock.lport,
@@ -271,11 +336,12 @@ class CheckpointSerializer:
                           for d in sock.rcvqueue],
         })
 
-    def serialize_tcp(self, sock) -> int:
+    def serialize_tcp(self, sock: Any) -> int:
         """TCP: 5-tuple, sequence numbers, options and buffers; the
         accept queue is deliberately omitted — clients see a dropped
         SYN and retry (§5.3)."""
-        self.kernel.clock.advance(costs.CKPT_SOCKET)
+        if not self._clean(sock):
+            self.kernel.clock.advance(costs.CKPT_SOCKET)
         peer_oid = None
         if sock.peer is not None and sock.peer.kid in self.group.oid_map:
             peer_oid = self.group.oid_map[sock.peer.kid]
@@ -294,12 +360,14 @@ class CheckpointSerializer:
             "peer_oid": peer_oid,
         })
 
-    def serialize_kqueue(self, kq) -> int:
+    def serialize_kqueue(self, kq: Any) -> int:
         """Cost scales with registered events: each knote is locked and
         serialized (Table 4: 35.2 µs for 1024 events)."""
         events = kq.events()
-        self.kernel.clock.advance(
-            costs.CKPT_KQUEUE_BASE + len(events) * costs.CKPT_KEVENT_EACH)
+        if not self._clean(kq):
+            self.kernel.clock.advance(
+                costs.CKPT_KQUEUE_BASE +
+                len(events) * costs.CKPT_KEVENT_EACH)
         return self._put_once(kq, "kqueue", {
             "events": [{"ident": e.ident, "filter": e.filter,
                         "flags": e.flags, "fflags": e.fflags,
@@ -307,9 +375,10 @@ class CheckpointSerializer:
                        for e in events],
         })
 
-    def serialize_pty(self, pty) -> int:
+    def serialize_pty(self, pty: Any) -> int:
         """A pseudoterminal: termios + both direction buffers."""
-        self.kernel.clock.advance(costs.CKPT_PTY)
+        if not self._clean(pty):
+            self.kernel.clock.advance(costs.CKPT_PTY)
         return self._put_once(pty, "pty", {
             "unit": pty.unit,
             "termios": {k: v for k, v in pty.termios.items()},
@@ -317,9 +386,19 @@ class CheckpointSerializer:
             "to_master": bytes(pty._to_master),
         })
 
-    def serialize_shm(self, segment) -> int:
+    def serialize_shm(self, segment: Any) -> int:
         """POSIX shm is direct; SysV requires scanning the global
         namespace table (Table 4: 14.9 µs vs 4.5 µs)."""
+        oid = self._oid(segment)
+        if oid in self._done:
+            if segment.vmobject.sls_oid is not None:
+                self.live_oids.add(segment.vmobject.sls_oid)
+            return oid
+        self._done.add(oid)
+        if self._clean(segment) and segment.vmobject.sls_oid is not None:
+            self.live_oids.add(segment.vmobject.sls_oid)
+            self.records_skipped += 1
+            return oid
         if segment.flavor == "sysv":
             self.kernel.clock.advance(
                 costs.CKPT_SHM_SYSV_BASE +
@@ -327,10 +406,6 @@ class CheckpointSerializer:
                 costs.CKPT_SHM_SYSV_SCAN_PER_SLOT)
         else:
             self.kernel.clock.advance(costs.CKPT_SHM_POSIX)
-        oid = self._oid(segment)
-        if oid in self._done:
-            return oid
-        self._done.add(oid)
         vm_oid = segment.vmobject.sls_oid
         pages = None
         if vm_oid is None:
@@ -341,6 +416,7 @@ class CheckpointSerializer:
                                         CLASS_MEMORY)
             segment.vmobject.sls_oid = vm_oid
             pages = dict(segment.vmobject.pages)
+        self.live_oids.add(vm_oid)
         self.txn.put_object(oid, "shm", {
             "name": segment.name,
             "size": segment.size,
@@ -348,6 +424,7 @@ class CheckpointSerializer:
             "key": getattr(segment, "key", None),
             "vm_oid": vm_oid,
         })
+        self.records_written += 1
         if pages is not None:
             self.txn.put_object(vm_oid, "vmobject", {
                 "size_pages": segment.vmobject.size_pages,
@@ -355,13 +432,15 @@ class CheckpointSerializer:
                 "name": segment.vmobject.name,
                 "backing_oid": None,
             })
+            self.records_written += 1
             self.txn.put_pages(vm_oid, pages)
         return oid
 
-    def serialize_device(self, device) -> int:
+    def serialize_device(self, device: Any) -> int:
         """A whitelisted device: name only (recreated at restore)."""
         if device.name not in DEVICE_WHITELIST:
             raise PermissionDenied(
                 f"device {device.name!r} cannot be persisted")
-        self.kernel.clock.advance(costs.CKPT_PIPE)  # trivial record
+        if not self._clean(device):
+            self.kernel.clock.advance(costs.CKPT_PIPE)  # trivial record
         return self._put_once(device, "device", {"name": device.name})

@@ -111,6 +111,7 @@ class FDTable(KObject):
             raise InvalidArgument(f"fd {fd} already in use")
         file.ref()
         self._fds[fd] = file
+        self.mark_dirty()
         return fd
 
     def get(self, fd: int) -> OpenFile:
@@ -138,6 +139,7 @@ class FDTable(KObject):
         file = self._fds.pop(fd, None)
         if file is None:
             raise BadFileDescriptor(f"fd {fd}")
+        self.mark_dirty()
         file.unref()
 
     def close_all(self) -> None:

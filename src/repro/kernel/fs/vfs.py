@@ -108,6 +108,7 @@ class VFS:
             raise DirectoryNotEmpty(path)
         parent.dir_remove(name)
         vnode.link_count -= 1
+        vnode.mark_dirty()
         self._namecache.pop(path, None)
         self.rootfs.on_unlink(vnode)
         if vnode.link_count == 0 and vnode.ref_count == 1:
@@ -127,6 +128,7 @@ class VFS:
             victim = self.rootfs.getvnode(existing)
             new_parent.dir_remove(new_name)
             victim.link_count -= 1
+            victim.mark_dirty()
             if victim.link_count == 0 and victim.ref_count == 1:
                 self.rootfs.forget_vnode(victim)
         old_parent.dir_remove(old_name)

@@ -66,6 +66,7 @@ class Vnode(KObject):
             obj.insert_page(pindex, Page(data=bytes(content)))
             pos += chunk
         self.size = max(self.size, end)
+        self.mark_dirty()
         self.fs.on_data_write(self, offset, len(data))
         return len(data)
 
@@ -80,6 +81,7 @@ class Vnode(KObject):
         for i in range(nbytes // PAGE_SIZE):
             obj.insert_page(first + i, Page(seed=seed + i))
         self.size = max(self.size, end)
+        self.mark_dirty()
         self.fs.on_data_write(self, offset, nbytes)
         return nbytes
 
@@ -106,6 +108,7 @@ class Vnode(KObject):
         for pindex in [p for p in obj.pages if p >= keep]:
             obj.remove_page(pindex)
         self.size = length
+        self.mark_dirty()
 
     def resident_bytes(self) -> int:
         """Bytes of file data currently in memory."""
@@ -123,11 +126,14 @@ class Vnode(KObject):
         """Insert a directory entry."""
         self._require_dir()
         self.entries[name] = inode
+        self.mark_dirty()
 
     def dir_remove(self, name: str) -> int:
         """Remove a directory entry; returns the inode it named."""
         self._require_dir()
-        return self.entries.pop(name)
+        inode = self.entries.pop(name)
+        self.mark_dirty()
+        return inode
 
     def dir_lookup(self, name: str) -> Optional[int]:
         """The inode a name maps to, or None."""

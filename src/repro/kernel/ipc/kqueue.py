@@ -58,11 +58,13 @@ class KQueue(KObject):
     def register(self, event: KEvent) -> None:
         """Add or update a knote."""
         self._events[event.key()] = event
+        self.mark_dirty()
 
     def deregister(self, ident: int, filter: str) -> None:
         """Remove a knote (EINVAL when absent)."""
         if self._events.pop((ident, filter), None) is None:
             raise InvalidArgument(f"no event ({ident}, {filter})")
+        self.mark_dirty()
 
     def trigger(self, ident: int, filter: str, data: int = 0) -> None:
         """Mark a registered event ready with ``data``."""
@@ -70,6 +72,9 @@ class KQueue(KObject):
         if event is not None:
             event.data = data
             self.pending.append(event)
+            # The knote's ``data`` field is part of the checkpointed
+            # event set, so a trigger dirties the queue.
+            self.mark_dirty()
 
     def collect(self, max_events: int = 64) -> List[KEvent]:
         """Harvest up to ``max_events`` ready events (kevent(2))."""

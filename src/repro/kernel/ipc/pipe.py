@@ -35,6 +35,7 @@ class Pipe(KObject):
             raise WouldBlock("pipe buffer full")
         accepted = data[:space]
         self.buffer += accepted
+        self.mark_dirty()
         return len(accepted)
 
     def read(self, nbytes: int) -> bytes:
@@ -45,15 +46,18 @@ class Pipe(KObject):
             raise WouldBlock("pipe empty")
         out = bytes(self.buffer[:nbytes])
         del self.buffer[:nbytes]
+        self.mark_dirty()
         return out
 
     def close_read(self) -> None:
         """Drop the read end (writers will see EPIPE)."""
         self.read_open = False
+        self.mark_dirty()
 
     def close_write(self) -> None:
         """Drop the write end (readers will see EOF)."""
         self.write_open = False
+        self.mark_dirty()
 
     def pending(self) -> int:
         """Bytes currently buffered."""

@@ -49,12 +49,15 @@ class Pty(KObject):
         self._to_slave += accepted
         if self.termios["echo"]:
             self._to_master += accepted
+        self.mark_dirty()
         return len(accepted)
 
     def slave_read(self, nbytes: int) -> bytes:
         """The application reads its input."""
         out = bytes(self._to_slave[:nbytes])
         del self._to_slave[:nbytes]
+        if out:
+            self.mark_dirty()
         return out
 
     def slave_write(self, data: bytes) -> int:
@@ -64,18 +67,22 @@ class Pty(KObject):
             raise WouldBlock("pty output buffer full")
         accepted = data[:space]
         self._to_master += accepted
+        self.mark_dirty()
         return len(accepted)
 
     def master_read(self, nbytes: int) -> bytes:
         """The terminal side drains output."""
         out = bytes(self._to_master[:nbytes])
         del self._to_master[:nbytes]
+        if out:
+            self.mark_dirty()
         return out
 
     def set_winsize(self, rows: int, cols: int) -> None:
         """TIOCSWINSZ: update the window dimensions."""
         self.termios["rows"] = rows
         self.termios["cols"] = cols
+        self.mark_dirty()
 
     def __repr__(self) -> str:
         return f"Pty({self.name})"

@@ -49,6 +49,11 @@ class SharedMemorySegment(KObject):
     def replace_object(self, new_object: VMObject) -> None:
         """Point the descriptor at the newest system shadow."""
         kernel = self.kernel
+        # Shadows of one logical object share its on-disk OID, so the
+        # routine per-checkpoint repoint leaves the serialized record
+        # unchanged; only an identity change dirties the descriptor.
+        if new_object.sls_oid != self.vmobject.sls_oid:
+            self.mark_dirty()
         kernel.shm_backmap.pop(self.vmobject.kid, None)
         new_object.ref()
         self.vmobject.unref()

@@ -72,10 +72,12 @@ class UnixSocket(KObject):
             raise AddressInUse(address)
         registry[address] = self
         self.address = address
+        self.mark_dirty()
 
     def listen(self, backlog: int = 128) -> None:
         """Accept incoming connections from now on."""
         self.listening = True
+        self.mark_dirty()
 
     def connect(self, address: str) -> None:
         """Connect to a listening socket (queues on its backlog)."""
@@ -86,6 +88,7 @@ class UnixSocket(KObject):
         accepted = UnixSocket(self.kernel, self.sock_type)
         accepted.peer = self
         self.peer = accepted
+        self.mark_dirty()
         server.backlog.append(accepted)
 
     def accept(self) -> "UnixSocket":
@@ -120,6 +123,7 @@ class UnixSocket(KObject):
                 file.ref()  # the in-flight message owns a reference
         peer.buffer.append(Message(data, control))
         peer.buffer_bytes += len(data)
+        peer.mark_dirty()
         return len(data)
 
     def send(self, data: bytes) -> int:
@@ -132,6 +136,7 @@ class UnixSocket(KObject):
             raise WouldBlock("no messages")
         message = self.buffer.pop(0)
         self.buffer_bytes -= len(message.data)
+        self.mark_dirty()
         return message
 
     def recv(self) -> bytes:

@@ -57,6 +57,14 @@ class Kernel:
         self.rng = random.Random(0xA0207A + boot_id)
         self.crashed = False
 
+        #: Global mutation epoch for incremental checkpoints (§6).
+        #: Every mutating kernel path stamps the touched object via
+        #: :meth:`~repro.kernel.kobject.KObject.mark_dirty`; the
+        #: serializer skips objects at or below a group's checkpoint
+        #: floor.  Set before any KObject exists so creation stamps
+        #: are well defined.
+        self.dirty_epoch = 1
+
         # Hardware views.
         self.physmem = PhysicalMemory(machine.ram_bytes)
         self.cpus = CPUSet(self.clock, machine.ncpus)
@@ -201,7 +209,9 @@ class Kernel:
         file = proc.fdtable.get(fd)
         if file.ftype == DTYPE_VNODE:
             data = file.vnode.read(file.offset, nbytes)
-            file.offset += len(data)
+            if data:
+                file.offset += len(data)
+                file.mark_dirty()
             return data
         if file.ftype == DTYPE_PIPE:
             return file.fobj.read(nbytes)
@@ -224,6 +234,7 @@ class Kernel:
                 file.offset = file.vnode.size
             written = file.vnode.write(file.offset, data)
             file.offset += written
+            file.mark_dirty()
             return written
         if file.ftype == DTYPE_PIPE:
             return file.fobj.write(data)
@@ -248,6 +259,7 @@ class Kernel:
         if offset < 0:
             raise InvalidArgument("negative offset")
         file.offset = offset
+        file.mark_dirty()
         return offset
 
     def fsync(self, proc: Process, fd: int) -> None:

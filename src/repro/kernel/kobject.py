@@ -34,6 +34,23 @@ class KObject:
         self.kid: int = kernel.next_kid()
         self.ref_count = 1
         self._destroyed = False
+        #: Epoch of the last mutation (incremental checkpoints, §6).
+        #: A freshly created object is dirty by construction: it is
+        #: stamped with the kernel's current epoch, which is always
+        #: above every group's checkpoint floor.
+        self.dirty_epoch: int = getattr(kernel, "dirty_epoch", 1)
+
+    def mark_dirty(self) -> None:
+        """Stamp the object with the current mutation epoch.
+
+        Every kernel path that changes checkpoint-visible state calls
+        this; the serializer then skips objects whose ``dirty_epoch``
+        is at or below the group's last-checkpoint epoch floor, making
+        kernel-state checkpoint cost proportional to the dirty set
+        rather than to total state.
+        """
+        self.dirty_epoch = getattr(self.kernel, "dirty_epoch",
+                                   self.dirty_epoch + 1)
 
     def ref(self) -> "KObject":
         """Take a reference; returns self for chaining."""

@@ -43,8 +43,8 @@ class TCPSocket(KObject):
         self.rcv_nxt = 0
         self.options = {"TCP_NODELAY": 0, "SO_SNDBUF": 64 * KiB,
                         "SO_RCVBUF": 64 * KiB, "SO_KEEPALIVE": 0}
-        self.sndbuf = SockBuf()
-        self.rcvbuf = SockBuf()
+        self.sndbuf = SockBuf(owner=self)
+        self.rcvbuf = SockBuf(owner=self)
         #: LISTEN only: fully established, not-yet-accepted sockets.
         self.accept_queue: List["TCPSocket"] = []
         self.peer: Optional["TCPSocket"] = None
@@ -60,6 +60,7 @@ class TCPSocket(KObject):
         bindings[key] = self
         self.laddr = addr
         self.lport = port
+        self.mark_dirty()
 
     def listen(self, backlog: int = 128) -> None:
         """Enter LISTEN; connections queue up to the backlog."""
@@ -67,6 +68,7 @@ class TCPSocket(KObject):
             raise InvalidArgument("listen before bind")
         self.state = TCP_LISTEN
         self.backlog = backlog
+        self.mark_dirty()
 
     def accept(self) -> "TCPSocket":
         """Pop one ESTABLISHED connection from the accept queue."""
@@ -99,6 +101,7 @@ class TCPSocket(KObject):
         self.snd_nxt = iss
         self.rcv_nxt = server_side.snd_nxt
         self.peer = server_side
+        self.mark_dirty()
         listener.accept_queue.append(server_side)
 
     # -- data ------------------------------------------------------------------------
@@ -110,6 +113,8 @@ class TCPSocket(KObject):
         accepted = self.peer.rcvbuf.append(payload)
         self.snd_nxt = (self.snd_nxt + accepted) & 0xFFFFFFFF
         self.peer.rcv_nxt = self.snd_nxt
+        self.mark_dirty()
+        self.peer.mark_dirty()
         return accepted
 
     def recv(self, nbytes: int) -> bytes:
@@ -129,8 +134,10 @@ class TCPSocket(KObject):
         """Tear down the connection (peer sees a dead link)."""
         if self.peer is not None and self.peer.peer is self:
             self.peer.peer = None
+            self.peer.mark_dirty()
         self.peer = None
         self.state = TCP_CLOSED
+        self.mark_dirty()
 
     def destroy(self) -> None:
         """Release the port binding and the peer link."""

@@ -43,6 +43,7 @@ class UDPSocket(KObject):
         bindings[key] = self
         self.laddr = addr
         self.lport = port
+        self.mark_dirty()
 
     def enqueue(self, source: Tuple[str, int], payload: bytes) -> bool:
         """Datagram arrival; silently dropped when the buffer is full
@@ -51,6 +52,7 @@ class UDPSocket(KObject):
             return False
         self.rcvqueue.append(Datagram(source, payload))
         self.rcvbytes += len(payload)
+        self.mark_dirty()
         return True
 
     def recvfrom(self) -> Tuple[bytes, Tuple[str, int]]:
@@ -59,6 +61,7 @@ class UDPSocket(KObject):
             raise WouldBlock("no datagrams")
         dgram = self.rcvqueue.pop(0)
         self.rcvbytes -= len(dgram.payload)
+        self.mark_dirty()
         return dgram.payload, dgram.source
 
     def destroy(self) -> None:

@@ -72,6 +72,7 @@ class Process(KObject):
         tid = self.kernel.tid_alloc.allocate()
         thread = Thread(self.kernel, self, tid)
         self.threads.append(thread)
+        self.mark_dirty()
         return thread
 
     @property
@@ -96,8 +97,10 @@ class Process(KObject):
             return
         if signo == SIGCONT and self.state == STOPPED:
             self.state = RUNNING
+            self.mark_dirty()
             return
         self.main_thread.signals.post(signo)
+        self.mark_dirty()
 
     def dispatch_signals(self) -> List[int]:
         """Run handlers for every deliverable pending signal."""
@@ -122,6 +125,7 @@ class Process(KObject):
         # Child inherits the parent's signal mask and cwd.
         child.main_thread.signals.mask = set(self.main_thread.signals.mask)
         child.cwd = self.cwd
+        self.mark_dirty()
         if self.sls_group is not None:
             # Children born into a consistency group stay in it (§3).
             self.sls_group.adopt(child)
@@ -145,6 +149,7 @@ class Process(KObject):
         self.children = []
         self.pgroup.remove(self)
         self.state = ZOMBIE
+        self.mark_dirty()
         if self.parent is not None and self.parent.state == RUNNING:
             self.parent.post_signal(SIGCHLD)
         if self.sls_group is not None:

@@ -28,7 +28,7 @@ class ExtentAllocator:
     """Bump allocator with a first-fit free list."""
 
     def __init__(self, capacity: int, reserved: int = 2 * STRIPE_SIZE,
-                 cursor: Optional[int] = None):
+                 cursor: Optional[int] = None) -> None:
         if capacity <= reserved:
             raise InvalidArgument("device smaller than reserved area")
         self.capacity = capacity

@@ -10,10 +10,9 @@ block-sharing ancestry.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..errors import CorruptRecord
-from ..hw.memory import Page
 
 
 class PageLocator:
@@ -28,7 +27,7 @@ class PageLocator:
     __slots__ = ("kind", "seed", "extent", "byte_off", "length")
 
     def __init__(self, kind: str, seed: int = 0, extent: int = 0,
-                 byte_off: int = 0, length: int = 0):
+                 byte_off: int = 0, length: int = 0) -> None:
         self.kind = kind
         self.seed = seed
         self.extent = extent
@@ -68,7 +67,7 @@ class CheckpointInfo:
 
     def __init__(self, ckpt_id: int, group_id: int, name: str = "",
                  parent: Optional[int] = None, time_ns: int = 0,
-                 partial: bool = False):
+                 partial: bool = False) -> None:
         self.ckpt_id = ckpt_id
         self.group_id = group_id
         self.name = name
@@ -88,12 +87,23 @@ class CheckpointInfo:
         self.data_bytes = 0
         #: Extent of this checkpoint's own metadata record.
         self.meta_extent: Optional[Tuple[int, int]] = None
+        #: Every OID the serializer *walked* at checkpoint time —
+        #: distinguishes "unchanged" (live but not re-written here)
+        #: from "deleted" (absent).  None for checkpoints made before
+        #: liveness tracking and for partial (memckpt) deltas, which
+        #: restores treat as "everything in the chain is live".
+        self.live_oids: Optional[Set[int]] = None
+        #: Records the serializer skipped as unchanged (telemetry).
+        self.records_skipped = 0
 
     # -- on-disk encoding ---------------------------------------------------------
 
-    def encode_meta(self) -> dict:
+    def encode_meta(self) -> Dict[str, Any]:
         """The checkpoint's on-disk metadata document."""
         return {
+            "live_oids": (sorted(self.live_oids)
+                          if self.live_oids is not None else None),
+            "records_skipped": self.records_skipped,
             "ckpt_id": self.ckpt_id,
             "group_id": self.group_id,
             "name": self.name,
@@ -126,6 +136,11 @@ class CheckpointInfo:
         info.owned_extents = [(pair[0], pair[1])
                               for pair in raw["owned_extents"]]
         info.data_bytes = raw["data_bytes"]
+        # Fields absent from metadata written before incremental
+        # kernel-state checkpoints existed.
+        live = raw.get("live_oids")
+        info.live_oids = set(live) if live is not None else None
+        info.records_skipped = raw.get("records_skipped", 0)
         return info
 
     def __repr__(self) -> str:

@@ -1,33 +1,60 @@
 """Garbage collection: WAFL/ZFS-style snapshot deletion (§7).
 
 Deleting the oldest checkpoint of a group *transfers* the pieces of
-its delta that are still visible through younger checkpoints (pages
-and object records the children never overwrote), then frees whatever
-nothing references.  There is no log cleaner and no background
-compaction — reclamation cost is proportional to the deleted delta,
-never to store size, so it cannot stall the 100 Hz checkpoint loop.
+its delta that are still visible through younger checkpoints, then
+frees whatever nothing references.  There is no log cleaner and no
+background compaction — reclamation cost is proportional to the
+deleted delta, never to store size, so it cannot stall the 100 Hz
+checkpoint loop.
 
-Extent liveness is tracked with an in-memory reference count per
-extent (rebuilt from checkpoint metadata at recovery), because one
-packed data extent may back pages adopted by different children after
-a restore forked the history.
+Page extents are adopted by reference (a packed extent may back pages
+shared across several children after a restore forked the history),
+tracked with an in-memory reference count per extent rebuilt from
+checkpoint metadata at recovery.  Object *records* are copy-forwarded
+instead: the record payload (checksum included) is copied verbatim
+into a fresh extent owned by the oldest surviving child, so the
+victim's record extents are actually reclaimed rather than pinned by
+adoption — with incremental checkpoints an unchanged object's record
+would otherwise ride along forever.  Records for OIDs no surviving
+checkpoint's live set can reach are dropped outright.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Any, Dict, List, Optional, Set
 
-from ..errors import InvalidArgument, NoSuchCheckpoint
+from ..core import telemetry
+from ..errors import CorruptRecord, InvalidArgument
 from . import records
 from .checkpoint import CheckpointInfo
 
 
-def _children_of(store, ckpt_id: int) -> List[CheckpointInfo]:
+def _children_of(store: Any, ckpt_id: int) -> List[CheckpointInfo]:
     return [info for info in store.checkpoints.values()
             if info.parent == ckpt_id]
 
 
-def delete_checkpoint(store, ckpt_id: int) -> int:
+def _subtree_needed(store: Any, child: CheckpointInfo) -> Optional[Set[int]]:
+    """OIDs a restore anywhere in ``child``'s subtree may still need.
+
+    The union of effective live sets over the child and all of its
+    descendants.  Returns None — forward everything — when any
+    subtree checkpoint has no bounded live set (legacy metadata, or a
+    chain whose newest full checkpoint predates liveness tracking).
+    """
+    needed: Set[int] = set()
+    stack = [child]
+    while stack:
+        info = stack.pop()
+        live = store.effective_live_oids(info.ckpt_id)
+        if live is None:
+            return None
+        needed |= live
+        stack.extend(_children_of(store, info.ckpt_id))
+    return needed
+
+
+def delete_checkpoint(store: Any, ckpt_id: int) -> int:
     """Delete one checkpoint; returns bytes reclaimed.
 
     Only a chain head (a checkpoint whose parent is already deleted or
@@ -40,29 +67,56 @@ def delete_checkpoint(store, ckpt_id: int) -> int:
             f"checkpoint {ckpt_id} still has ancestor {info.parent}; "
             f"delete from the old end of the chain")
     children = _children_of(store, ckpt_id)
+    registry = telemetry.registry()
 
     refs: Dict[int, int] = store.extent_refs
     # Transfer still-visible state into each child delta.
     for child in children:
+        needed = _subtree_needed(store, child)
         adopted: Set[int] = set()
         for oid, page_map in info.pages.items():
+            if needed is not None and oid not in needed:
+                continue
             child_map = child.pages.setdefault(oid, {})
             for pindex, locator in page_map.items():
                 if pindex not in child_map:
                     child_map[pindex] = locator
                     if locator.kind == "ext":
                         adopted.add(locator.extent)
+        forwarded = dropped = 0
         for oid, extent in info.object_records.items():
-            if oid not in child.object_records:
-                child.object_records[oid] = extent
-                adopted.add(extent[0])
+            if oid in child.object_records:
+                continue
+            if needed is not None and oid not in needed:
+                dropped += 1
+                continue
+            # Copy-forward: the payload moves verbatim (so the record
+            # checksum still verifies) into an extent the child owns.
+            payload = store.device.read(extent[0])
+            if not isinstance(payload, bytes):
+                raise CorruptRecord(
+                    f"record extent {extent[0]} holds synthetic data")
+            new_offset = store.alloc.alloc(extent[1])
+            store.device.write(new_offset, payload)
+            child.object_records[oid] = (new_offset, extent[1])
+            child.owned_extents.append((new_offset, extent[1]))
+            refs[new_offset] = refs.get(new_offset, 0) + 1
+            forwarded += 1
         for offset, length in info.owned_extents:
             if offset in adopted:
                 child.owned_extents.append((offset, length))
                 refs[offset] = refs.get(offset, 0) + 1
         child.parent = info.parent
+        registry.counter("sls.store.gc.records_forwarded",
+                         group=info.group_id).add(forwarded)
+        registry.counter("sls.store.gc.records_dropped",
+                         group=info.group_id).add(dropped)
 
     # Drop the deleted checkpoint's references; free what hit zero.
+    # The victim's metadata record counts too — a checkpoint that
+    # owned zero page extents (a pure OS-state delta) still gives
+    # back its record and meta extents, so reclaimed-bytes telemetry
+    # must not read zero for it.
     reclaimed = 0
     for offset, length in info.owned_extents:
         refs[offset] = refs.get(offset, 1) - 1

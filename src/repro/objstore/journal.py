@@ -28,8 +28,8 @@ SLOT_SIZE = 4 * KiB + 512
 class Journal:
     """One journal object: header slot + append slots, in place."""
 
-    def __init__(self, store, jid: int, base: int, capacity: int,
-                 epoch: int = 1):
+    def __init__(self, store: Any, jid: int, base: int, capacity: int,
+                 epoch: int = 1) -> None:
         self.store = store
         self.jid = jid
         self.base = base
@@ -155,7 +155,7 @@ class Journal:
                 "capacity": self.capacity, "epoch": self.epoch}
 
     @classmethod
-    def decode_meta(cls, store, raw: dict) -> "Journal":
+    def decode_meta(cls, store: Any, raw: dict) -> "Journal":
         """Rebuild a journal handle from its directory entry."""
         journal = cls(store, raw["jid"], raw["base"], raw["capacity"],
                       raw["epoch"])

@@ -47,7 +47,7 @@ def oid_serial(oid: int) -> int:
 class OIDAllocator:
     """Monotonic OID source; its cursor is persisted by the store."""
 
-    def __init__(self, next_serial: int = 1):
+    def __init__(self, next_serial: int = 1) -> None:
         self._next = next_serial
 
     def allocate(self, obj_class: int) -> int:

@@ -12,7 +12,7 @@ a crash."
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..errors import CorruptRecord, StoreError
 from . import records
@@ -23,7 +23,7 @@ from .oid import OIDAllocator
 from .store_state import RecoveredState  # re-exported dataclass
 
 
-def _read_superblock(store, slot: int) -> Optional[dict]:
+def _read_superblock(store: Any, slot: int) -> Optional[dict]:
     if not store.device.has_extent(slot):
         return None
     try:
@@ -35,7 +35,7 @@ def _read_superblock(store, slot: int) -> Optional[dict]:
         return None
 
 
-def recover(store) -> Optional[RecoveredState]:
+def recover(store: Any) -> Optional[RecoveredState]:
     """Rebuild ``store``'s in-memory state from the device.
 
     Returns None when no valid superblock exists (blank array).
@@ -63,7 +63,7 @@ def recover(store) -> Optional[RecoveredState]:
     raise StoreError(f"no recoverable superblock generation: {last_error}")
 
 
-def _rebuild(store, superblock: dict) -> RecoveredState:
+def _rebuild(store: Any, superblock: dict) -> RecoveredState:
     store._generation = superblock["generation"]
     store.alloc = ExtentAllocator(store.device.capacity,
                                   cursor=superblock["alloc_cursor"])

@@ -19,6 +19,12 @@ verifying along the way:
 * **Reference counts** — the per-extent refcounts implied by the
   checkpoints' ``owned_extents`` match the mounted store's in-memory
   counts, and no live extent sits on the superblock's free list.
+* **Liveness** — incremental checkpoints leave an unchanged object's
+  record in an ancestor delta, so every OID in a checkpoint's
+  effective live set must still resolve to a record somewhere along
+  its parent chain.  A live OID with no reachable record means GC
+  forwarding lost state (the exact failure record copy-forwarding
+  exists to prevent).
 * **Shadow chains** — for live consistency groups (when an
   orchestrator is passed), each tracked object's shadow chain holds at
   most :data:`MAX_SHADOW_DEPTH` shadows above its base: the eager
@@ -32,7 +38,7 @@ The scrub only ever *reads* the device; it never repairs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core import telemetry
 from ..errors import CorruptRecord, StoreError
@@ -50,6 +56,7 @@ DANGLING = "dangling"
 REFCOUNT = "refcount"
 FREELIST = "freelist"
 CHAIN = "shadow-chain"
+LIVENESS = "liveness"
 
 
 class Finding:
@@ -58,7 +65,7 @@ class Finding:
     __slots__ = ("kind", "detail", "ckpt_id")
 
     def __init__(self, kind: str, detail: str,
-                 ckpt_id: Optional[int] = None):
+                 ckpt_id: Optional[int] = None) -> None:
         self.kind = kind
         self.detail = detail
         self.ckpt_id = ckpt_id
@@ -71,7 +78,7 @@ class Finding:
 class ScrubReport:
     """Everything one scrub pass saw, plus its verdict."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.findings: List[Finding] = []
         self.superblocks_valid = 0
         self.generation: Optional[int] = None
@@ -80,10 +87,11 @@ class ScrubReport:
         self.page_extents_verified = 0
         self.extents_counted = 0
         self.chains_checked = 0
+        self.liveness_checked = 0
         self.stats = telemetry.StatsView(
             "sls.scrub",
             keys=("runs", "checkpoints", "records", "page_extents",
-                  "chains", "findings"))
+                  "chains", "liveness", "findings"))
 
     @property
     def ok(self) -> bool:
@@ -101,7 +109,7 @@ class ScrubReport:
                 f"{self.page_extents_verified} page extents)")
 
 
-def _read_superblocks(device) -> List[Tuple[int, Optional[dict]]]:
+def _read_superblocks(device: Any) -> List[Tuple[int, Optional[dict]]]:
     """(slot, decoded-or-None) for both superblock slots."""
     from .store import SUPERBLOCK_SLOTS
 
@@ -119,7 +127,7 @@ def _read_superblocks(device) -> List[Tuple[int, Optional[dict]]]:
     return slots
 
 
-def _scan_checkpoint(store, report: ScrubReport,
+def _scan_checkpoint(store: Any, report: ScrubReport,
                      info: CheckpointInfo) -> None:
     """Verify one checkpoint's record and page extents."""
     device = store.device
@@ -169,7 +177,7 @@ def _scan_checkpoint(store, report: ScrubReport,
             report.stats["page_extents"] += 1
 
 
-def _scan_refcounts(store, report: ScrubReport,
+def _scan_refcounts(store: Any, report: ScrubReport,
                     checkpoints: Dict[int, CheckpointInfo],
                     superblock: dict) -> None:
     """Recompute extent refcounts from metadata; cross-check the
@@ -207,7 +215,66 @@ def _scan_refcounts(store, report: ScrubReport,
                 break
 
 
-def _chain_segment_len(track) -> int:
+def _meta_parent_chain(checkpoints: Dict[int, CheckpointInfo],
+                       ckpt_id: int) -> List[CheckpointInfo]:
+    """Parent chain (newest first) over the *decoded* metadata set.
+
+    A parent missing from the catalog terminates the walk — that hole
+    is already a ``dangling`` finding from the parent-pointer scan.
+    """
+    chain: List[CheckpointInfo] = []
+    current: Optional[int] = ckpt_id
+    while current is not None:
+        info = checkpoints.get(current)
+        if info is None:
+            break
+        chain.append(info)
+        current = info.parent
+    return chain
+
+
+def _scan_liveness(report: ScrubReport,
+                   checkpoints: Dict[int, CheckpointInfo]) -> None:
+    """Cross-checkpoint record reachability.
+
+    For every checkpoint whose chain carries liveness info, recompute
+    the effective live set (mirroring
+    :meth:`ObjectStore.effective_live_oids`, but over the decoded
+    on-disk metadata) and require each live OID to resolve to an
+    object record somewhere along the parent chain.  Chains without
+    liveness info (legacy stores, pure-partial histories) are skipped
+    — they have nothing to cross-check against.
+    """
+    for ckpt_id in sorted(checkpoints):
+        chain = _meta_parent_chain(checkpoints, ckpt_id)
+        base: Optional[set] = None
+        newer: set = set()
+        for info in chain:
+            if not info.partial and info.live_oids is not None:
+                base = info.live_oids
+                break
+            newer.update(info.object_records)
+            newer.update(info.pages)
+        if base is None:
+            continue
+        report.liveness_checked += 1
+        report.stats["liveness"] += 1
+        live = base | newer
+        merged: set = set()
+        for info in chain:
+            merged.update(info.object_records)
+        missing = sorted(live - merged)
+        for oid in missing[:8]:
+            report.add(LIVENESS,
+                       f"oid {oid} is live at checkpoint {ckpt_id} but no "
+                       f"chain delta holds its record", ckpt_id)
+        if len(missing) > 8:
+            report.add(LIVENESS,
+                       f"... and {len(missing) - 8} more unreachable live "
+                       f"oid(s)", ckpt_id)
+
+
+def _chain_segment_len(track: Any) -> int:
     """Objects in the track's chain segment (same logical object),
     walking from the active top down — the walk
     :func:`~repro.core.shadowing.merged_chain_pages` performs."""
@@ -220,7 +287,7 @@ def _chain_segment_len(track) -> int:
     return length
 
 
-def _scan_shadow_chains(sls, report: ScrubReport) -> None:
+def _scan_shadow_chains(sls: Any, report: ScrubReport) -> None:
     for group in sorted(sls.groups.values(), key=lambda g: g.group_id):
         for oid, track in sorted(group.tracks.items()):
             if track.active is None:
@@ -235,7 +302,7 @@ def _scan_shadow_chains(sls, report: ScrubReport) -> None:
                            f"(limit {MAX_SHADOW_DEPTH})")
 
 
-def scrub(store, sls=None) -> ScrubReport:
+def scrub(store: Any, sls: Optional[Any] = None) -> ScrubReport:
     """Scrub the store's on-disk object graph; returns the report.
 
     ``store`` supplies the device and (when mounted) the in-memory
@@ -306,6 +373,7 @@ def scrub(store, sls=None) -> ScrubReport:
                        f"is not in the catalog", info.ckpt_id)
 
     _scan_refcounts(store, report, checkpoints, superblock)
+    _scan_liveness(report, checkpoints)
     if sls is not None:
         _scan_shadow_chains(sls, report)
     return report

@@ -19,7 +19,7 @@ is the newest-wins merge along the parent chain
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..core import costs, telemetry
 from ..errors import (CorruptRecord, InvalidArgument, NoSuchCheckpoint,
@@ -42,7 +42,7 @@ SUPERBLOCK_SLOTS = (0, STRIPE_SIZE)
 class CheckpointTxn:
     """Staging area for one in-progress checkpoint."""
 
-    def __init__(self, store: "ObjectStore", info: CheckpointInfo):
+    def __init__(self, store: "ObjectStore", info: CheckpointInfo) -> None:
         self.store = store
         self.info = info
         self.staged_records: List[Tuple[int, bytes]] = []
@@ -72,7 +72,7 @@ class CheckpointTxn:
 class ObjectStore:
     """One formatted store on a machine's NVMe array."""
 
-    def __init__(self, machine):
+    def __init__(self, machine: Any) -> None:
         self.machine = machine
         self.device: StripedArray = machine.storage
         self.clock = machine.clock
@@ -94,7 +94,8 @@ class ObjectStore:
         #: draining the whole event loop.
         self._pending_commits: Dict[int, Tuple[int, int]] = {}
         self.stats = telemetry.StatsView(
-            "sls.store", keys=("commits", "bytes_flushed", "recoveries"))
+            "sls.store", keys=("commits", "bytes_flushed", "recoveries",
+                               "reclaimed_bytes"))
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -243,6 +244,17 @@ class ObjectStore:
         self._write_catalog_and_superblock()
         self.stats["commits"] += 1
         self.stats["bytes_flushed"] += info.data_bytes
+        # Chain depth at commit time — the knob retain_last exists to
+        # bound.  Walked defensively: an ancestor may still be an
+        # in-flight async commit and thus not yet registered.
+        depth = 0
+        current: Optional[CheckpointInfo] = info
+        while current is not None:
+            depth += 1
+            current = (self.checkpoints.get(current.parent)
+                       if current.parent is not None else None)
+        telemetry.registry().histogram(
+            "sls.store.chain_depth", group=info.group_id).observe(depth)
         for callback in self._commit_watchers.pop(info.ckpt_id, []):
             callback(info)
 
@@ -362,19 +374,56 @@ class ObjectStore:
             current = info.parent
         return chain
 
+    def effective_live_oids(self, ckpt_id: int) -> Optional[Set[int]]:
+        """The OIDs a restore at ``ckpt_id`` may still need.
+
+        The newest non-partial checkpoint carrying liveness info
+        defines the base set (its serializer walked every reachable
+        object, so anything absent was deleted before it).  Deltas
+        *newer* than that base — partials and checkpoints written
+        before liveness tracking — may introduce brand-new OIDs, so
+        their record/page keys are unioned in conservatively.
+
+        Returns None ("everything along the chain is live") when no
+        chain checkpoint carries liveness info, which keeps legacy
+        stores, SLSFS checkpoints and pure-partial chains on the
+        original unfiltered semantics.
+        """
+        base: Optional[Set[int]] = None
+        newer: Set[int] = set()
+        for info in self.parent_chain(ckpt_id):
+            if not info.partial and info.live_oids is not None:
+                base = info.live_oids
+                break
+            newer.update(info.object_records)
+            newer.update(info.pages)
+        if base is None:
+            return None
+        return base | newer
+
     def merged_view(self, ckpt_id: int) -> Tuple[Dict[int, Tuple[int, int]],
                                                  Dict[int, Dict[int, PageLocator]]]:
         """Newest-wins union of deltas along the parent chain.
 
         Returns ``(object_record_extents, page_locators)`` describing
-        the full application state at ``ckpt_id``.
+        the full application state at ``ckpt_id``.  With incremental
+        checkpoints an unchanged object's record lives in an ancestor
+        delta; a *deleted* object's record may also still sit in an
+        ancestor, so the union is filtered down to the checkpoint's
+        effective live set (when known) to keep dead objects from
+        resurfacing at restore.
         """
+        live = self.effective_live_oids(ckpt_id)
         merged_records: Dict[int, Tuple[int, int]] = {}
         merged_pages: Dict[int, Dict[int, PageLocator]] = {}
         for info in self.parent_chain(ckpt_id):
             for oid, extent in info.object_records.items():
+                if live is not None and oid not in live:
+                    continue
                 merged_records.setdefault(oid, extent)
             for oid, page_map in info.pages.items():
+                if live is not None and oid not in live:
+                    continue
                 target = merged_pages.setdefault(oid, {})
                 for pindex, locator in page_map.items():
                     target.setdefault(pindex, locator)
@@ -423,7 +472,9 @@ class ObjectStore:
     def delete_checkpoint(self, ckpt_id: int) -> int:
         """WAFL-style snapshot deletion; returns bytes reclaimed."""
         self._require_mounted()
-        return gc_mod.delete_checkpoint(self, ckpt_id)
+        reclaimed = gc_mod.delete_checkpoint(self, ckpt_id)
+        self.stats["reclaimed_bytes"] += reclaimed
+        return reclaimed
 
     def retain_last(self, group_id: int, keep: int) -> int:
         """Trim a group's history to its ``keep`` newest checkpoints."""
@@ -457,7 +508,8 @@ class ObjectStore:
 
     # -- swap integration ----------------------------------------------------------------------------------
 
-    def stage_swap_page(self, vmobject, pindex: int, page: Page):
+    def stage_swap_page(self, vmobject: Any, pindex: int,
+                        page: Page) -> PageLocator:
         """Flush a dirty page on the unified checkpoint/swap data path."""
         if page.synthetic:
             extent = self.alloc.alloc(PAGE_SIZE)

@@ -87,6 +87,39 @@ class CounterAppWorkload:
         return proc.vmspace.read(addr, len(self.V1))
 
 
+class IncrementalCounterWorkload(CounterAppWorkload):
+    """Crash scheduling across *incremental* kernel-state checkpoints.
+
+    A base full checkpoint sets the group's epoch floor first, so the
+    ``V1`` checkpoint and the probed ``V2`` checkpoint are both
+    incremental deltas: most kernel-state records are skipped as
+    clean and resolve through the parent chain at restore.  Crashing
+    anywhere between (and inside) the two incremental checkpoints
+    must restore exactly the last durable one — the delta commit
+    path's version of the §5/§7 promise.
+    """
+
+    def boot(self) -> WorkloadRun:
+        machine = Machine()
+        sls = load_aurora(machine)
+        kernel = machine.kernel
+        proc = kernel.spawn("app")
+        # Extra kernel state that stays clean across the probed
+        # checkpoint, so the incremental walk has records to skip.
+        kernel.pipe(proc)
+        kernel.pipe(proc)
+        addr = proc.vmspace.mmap(self.NPAGES * PAGE_SIZE, name="heap")
+        self._fill(proc, addr, b"aurora-crashsched-v0")
+        group = sls.attach(proc, periodic=False)
+        sls.checkpoint(group, name="base", sync=True)
+        self._fill(proc, addr, self.V1)
+        result = sls.checkpoint(group, name="v1", sync=True)
+        assert result.records_skipped > 0, \
+            "v1 checkpoint was not incremental"
+        self._fill(proc, addr, self.V2)
+        return WorkloadRun(machine, sls, group, proc, addr)
+
+
 class CrashPoint:
     """One enumerable crash instant of the probed checkpoint."""
 

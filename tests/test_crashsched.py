@@ -23,7 +23,8 @@ from repro.objstore.store import ObjectStore
 from repro.units import PAGE_SIZE
 
 from tests.crashsched import (CounterAppWorkload, CrashScheduleExplorer,
-                              IOCrash, StageCrash)
+                              IncrementalCounterWorkload, IOCrash,
+                              StageCrash)
 
 SMOKE_SEED = 0xA0DA
 SMOKE_IO_SAMPLES = 3
@@ -102,6 +103,44 @@ def test_exhaustive_crash_schedule_sweep(explorer, schedule):
     # Both durable states were actually exercised by the sweep.
     restored = {outcome.restored for outcome in outcomes}
     assert restored == {CounterAppWorkload.V1, CounterAppWorkload.V2}
+
+
+@pytest.fixture(scope="module")
+def incr_explorer():
+    """Explorer whose durable and probed checkpoints are incremental."""
+    return CrashScheduleExplorer(IncrementalCounterWorkload())
+
+
+@pytest.fixture(scope="module")
+def incr_schedule(incr_explorer):
+    return incr_explorer.probe()
+
+
+def test_incremental_crash_at_stage_boundaries_restores_durable(
+        incr_explorer, incr_schedule):
+    """Crashing between two *incremental* checkpoints (at every stage
+    boundary of the probed one) restores exactly the last durable
+    incremental checkpoint — whose records partly live in the parent
+    full delta and resolve through the chain."""
+    points = [StageCrash(stage, edge)
+              for stage, edge in incr_schedule.boundaries]
+    outcomes = incr_explorer.sweep(points, incr_schedule)
+    assert all(outcome.ok for outcome in outcomes), \
+        [outcome for outcome in outcomes if not outcome.ok]
+    assert outcomes[0].restored == IncrementalCounterWorkload.V1
+    assert outcomes[-1].restored == IncrementalCounterWorkload.V2
+
+
+def test_incremental_crash_around_commit_point_restores_durable(
+        incr_explorer, incr_schedule):
+    """The incremental delta's commit point behaves like the full
+    one's: the superblock flip alone makes V2 durable."""
+    indices = [incr_schedule.flip_index, incr_schedule.flip_index + 1]
+    indices = [i for i in indices if i < incr_schedule.io_count]
+    outcomes = incr_explorer.sweep([IOCrash(i) for i in indices],
+                                   incr_schedule)
+    assert all(outcome.ok for outcome in outcomes), \
+        [outcome for outcome in outcomes if not outcome.ok]
 
 
 def test_torn_superblock_write_falls_back_to_previous_checkpoint(
