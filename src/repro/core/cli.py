@@ -155,42 +155,176 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_stat(args) -> int:
-    """``sls stat``: per-group per-stage checkpoint breakdown.
-
-    Telemetry is in-process (it is not part of the disk image), so the
-    command restores the group, runs a few measurement checkpoints,
-    and dumps the stage spans they produced.  The image is left
-    untouched.
+def _measure(args):
+    """Shared measurement loop for the telemetry commands: restore the
+    group and run ``args.checkpoints`` synchronous checkpoints on its
+    cadence.  Telemetry is in-process (not part of the disk image), so
+    every observability command re-runs the workload; the image is
+    left untouched.
     """
-    from . import telemetry
-    from .pipeline import STAGE_ORDER, STOP_STAGES
-
     machine, sls = _load(args.image)
     result = _restore_group(sls, args.group)
     group = result.group
     for _ in range(args.checkpoints):
         machine.run_for(group.period_ns)
         sls.checkpoint(group, sync=True)
+    return machine, sls, group
 
+
+def cmd_stat(args) -> int:
+    """``sls stat``: per-group per-stage checkpoint breakdown."""
+    from . import telemetry
+    from .pipeline import STAGE_ORDER, STOP_STAGES
+
+    _machine, _sls, group = _measure(args)
+
+    registry = telemetry.registry()
     order = {stage: index for index, stage in enumerate(STAGE_ORDER)}
-    rows = sorted(telemetry.registry().stage_rows(group.group_id),
+    rows = sorted(registry.stage_rows(group.group_id),
                   key=lambda row: order.get(row["stage"], len(order)))
     print(f"group {group.group_id} ({group.name}): "
           f"{group.stats['checkpoints']} checkpoint(s) measured")
     print(f"{'STAGE':<10} {'KIND':<8} {'COUNT':>5} {'TOTAL':>12} "
-          f"{'MEAN':>12} {'MAX':>12}")
+          f"{'MEAN':>12} {'P50':>12} {'P95':>12} {'P99':>12} {'MAX':>12}")
     for row in rows:
         kind = "stop" if row["stage"] in STOP_STAGES else "overlap"
         print(f"{row['stage']:<10} {kind:<8} {row['count']:>5} "
               f"{fmt_time(row['total_ns']):>12} "
               f"{fmt_time(int(row['mean_ns'])):>12} "
+              f"{fmt_time(row['p50_ns']):>12} "
+              f"{fmt_time(row['p95_ns']):>12} "
+              f"{fmt_time(row['p99_ns']):>12} "
               f"{fmt_time(row['max_ns']):>12}")
     checkpoints = max(group.stats["checkpoints"], 1)
     print(f"stop time: mean "
           f"{fmt_time(group.stats['stop_ns_total'] // checkpoints)}, "
           f"max {fmt_time(group.stats['stop_ns_max'])}; "
           f"{fmt_size(group.stats['bytes_flushed'])} flushed")
+    dropped = registry.value("sls.telemetry.spans_dropped")
+    print(f"span ring: {len(registry.spans)} retained, "
+          f"{dropped} dropped")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``sls trace``: export causal operation traces.
+
+    Runs the measurement loop and exports the finished traces as a
+    Chrome ``trace_event`` document (``--chrome``, Perfetto-loadable)
+    and/or prints a per-checkpoint critical-path summary.
+    """
+    import json
+
+    from . import tracing
+
+    _machine, _sls, group = _measure(args)
+
+    traces = tracing.tracer().traces(group=group.group_id)
+    if args.chrome:
+        doc = tracing.chrome_trace(traces)
+        tracing.validate_chrome_trace(doc)
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        print(f"wrote {len(doc['traceEvents'])} trace events to "
+              f"{args.chrome}")
+    ckpts = [t for t in traces if t.kind == tracing.CHECKPOINT]
+    complete = sum(1 for t in ckpts if t.complete)
+    print(f"group {group.group_id}: {len(ckpts)} checkpoint trace(s), "
+          f"{complete} complete")
+    for trace_obj in ckpts[-args.show:]:
+        coverage = tracing.child_coverage(trace_obj)
+        state = "complete" if trace_obj.complete else "INCOMPLETE"
+        print(f"  trace #{trace_obj.trace_id} [{state}] "
+              f"{fmt_time(trace_obj.duration_ns())} wall, "
+              f"{len(trace_obj.spans)} span(s), "
+              f"{coverage:.0%} stage coverage")
+        for row in tracing.critical_path(trace_obj):
+            if row["duration_ns"] == 0:
+                continue
+            print(f"    {row['name']:<18} {fmt_time(row['duration_ns']):>12} "
+                  f"(self {fmt_time(row['self_ns'])})")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """``sls metrics``: registry export (Prometheus text or JSON)."""
+    import json
+
+    from . import telemetry, tracing
+
+    _measure(args)
+    if args.format == "prom":
+        payload = tracing.prometheus_text(telemetry.registry())
+    else:
+        payload = json.dumps(tracing.metrics_json(telemetry.registry()),
+                             indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote metrics to {args.output}")
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
+def cmd_events(args) -> int:
+    """``sls events``: the structured event log of the measurement run."""
+    from . import events as events_mod
+
+    _measure(args)
+    log = events_mod.log()
+    entries = list(log)[-args.limit:] if args.limit else list(log)
+    print(f"{'TIME':>14}  {'TRACE':>6}  {'KIND':<18} FIELDS")
+    for event in entries:
+        trace = event.trace_id if event.trace_id is not None else "-"
+        fields = " ".join(f"{k}={v}" for k, v in event.fields.items()
+                          if v is not None)
+        print(f"{fmt_time(event.time_ns):>14}  {trace:>6}  "
+              f"{event.kind:<18} {fields}")
+    print(f"{len(log)} event(s) in the log")
+    return 0
+
+
+def cmd_slo(args) -> int:
+    """``sls slo``: RPO-lag / stop-time budget compliance report."""
+    from . import slo as slo_mod
+    from ..units import MSEC as _MSEC
+
+    # Install the budgets before the measurement run so violations are
+    # counted against them.
+    targets = slo_mod.SLOTargets(rpo_ns=int(args.rpo_ms * _MSEC),
+                                 stop_ns=int(args.stop_ms * _MSEC))
+    machine, sls = _load(args.image)
+    sls.slo.targets = targets
+    result = _restore_group(sls, args.group)
+    group = result.group
+    for _ in range(args.checkpoints):
+        machine.run_for(group.period_ns)
+        sls.checkpoint(group, sync=True)
+
+    rows = sls.slo.report(group.group_id)
+    if not rows:
+        print(f"group {args.group}: no commits observed")
+        return 1
+    for row in rows:
+        print(f"group {row['group']}: {row['commits']} durable commit(s); "
+              f"targets rpo<{fmt_time(row['rpo_target_ns'])} "
+              f"stop<{fmt_time(row['stop_target_ns'])}")
+        for series in ("rpo_lag", "stop", "e2e"):
+            s = row[series]
+            print(f"  {series:<8} n={s['count']:<4} "
+                  f"p50 {fmt_time(s['p50']):>12} "
+                  f"p95 {fmt_time(s['p95']):>12} "
+                  f"p99 {fmt_time(s['p99']):>12} "
+                  f"max {fmt_time(s['max']):>12}")
+        print(f"  violations: {row['rpo_violations']} rpo, "
+              f"{row['stop_violations']} stop")
+    print("critical path (mean self time per checkpoint stage):")
+    for row in slo_mod.critical_path_summary(group.group_id):
+        if row["self_ns"] == 0:
+            continue
+        print(f"  {row['name']:<18} {fmt_time(row['mean_self_ns']):>12} "
+              f"x{row['count']}")
     return 0
 
 
@@ -432,6 +566,46 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scrub", help="verify store integrity offline")
     p.add_argument("image")
     p.set_defaults(func=cmd_scrub)
+
+    p = sub.add_parser("trace", help="export causal checkpoint traces")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("--checkpoints", type=int, default=20,
+                   help="measurement checkpoints to run (default 20)")
+    p.add_argument("--chrome", metavar="PATH",
+                   help="write a Chrome trace_event JSON document")
+    p.add_argument("--show", type=int, default=3,
+                   help="checkpoint traces to summarize (default 3)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("metrics", help="export telemetry metrics")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("--checkpoints", type=int, default=10,
+                   help="measurement checkpoints to run (default 10)")
+    p.add_argument("--format", choices=("prom", "json"), default="prom")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("events", help="structured event log of a run")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("--checkpoints", type=int, default=10,
+                   help="measurement checkpoints to run (default 10)")
+    p.add_argument("--limit", type=int, default=0,
+                   help="only show the newest N events")
+    p.set_defaults(func=cmd_events)
+
+    p = sub.add_parser("slo", help="RPO / stop-time SLO compliance")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("--checkpoints", type=int, default=50,
+                   help="measurement checkpoints to run (default 50)")
+    p.add_argument("--rpo-ms", type=float, default=10.0,
+                   help="recovery-point budget in ms (default 10)")
+    p.add_argument("--stop-ms", type=float, default=1.0,
+                   help="stop-time budget in ms (default 1)")
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("restore", help="restore an application")
     p.add_argument("image")

@@ -33,6 +33,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import NoSpace, ReproError
+from . import events as sls_events
 
 #: Fault kinds.
 CRASH = "crash"
@@ -91,6 +92,10 @@ class FaultPlan:
     def __init__(self, name: str = "", seed: int = 0):
         self.name = name
         self.seed = seed
+        #: Installed by :meth:`~repro.machine.Machine.set_fault_plan`
+        #: so fired faults land in the structured event log at the
+        #: sim-instant they fired.
+        self.clock = None
         #: Next IO index == number of writes fully submitted so far.
         self.io_index = 0
         self.io_log: List[int] = []
@@ -165,6 +170,10 @@ class FaultPlan:
         event = FaultEvent(kind, self.io_index, stage=stage, edge=edge,
                            offset=offset)
         self.events.append(event)
+        if self.clock is not None:
+            sls_events.emit(self.clock.now(), sls_events.FAULT_INJECTED,
+                            fault=kind, io_index=self.io_index,
+                            stage=stage, edge=edge, offset=offset)
         return event
 
     def on_io(self, offset: int, payload, sync: bool):

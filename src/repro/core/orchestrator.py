@@ -28,7 +28,7 @@ from ..kernel.fs.vfs import VFS
 from ..objstore.oid import CLASS_GROUP, oid_serial
 from ..objstore.store import ObjectStore
 from ..slsfs.slsfs import SLSFS
-from . import telemetry
+from . import events, slo, telemetry, tracing
 from .extsync import ExternalSynchrony
 from .group import ConsistencyGroup
 from .pipeline import (MODE_DISK, MODE_MEM, CheckpointContext,
@@ -55,6 +55,7 @@ class Orchestrator:
         self.extsync = ExternalSynchrony(self.kernel)
         self.pipeline = CheckpointPipeline()
         self.telemetry = telemetry.registry()
+        self.slo = slo.SLOTracker()
         self.groups: Dict[int, ConsistencyGroup] = {}
         self.kernel.sls = self
 
@@ -144,7 +145,23 @@ class Orchestrator:
             self._await_flush(group)
         ctx = CheckpointContext(self, group, name=name, full=full,
                                 sync=sync, mode=mode)
-        result = self.pipeline.run(ctx)
+        clock = self.kernel.clock
+        with tracing.trace(clock, tracing.CHECKPOINT,
+                           group=group.group_id, mode=mode) as trace_obj:
+            events.emit(clock.now(), events.CKPT_START,
+                        group=group.group_id, mode=mode)
+            try:
+                result = self.pipeline.run(ctx)
+            except Exception as exc:
+                events.emit(clock.now(), events.CKPT_FAIL,
+                            group=group.group_id,
+                            error=f"{type(exc).__name__}: {exc}")
+                raise
+            if mode == MODE_MEM and trace_obj is not None:
+                # Nothing flushes: the pipeline's end is the mem-mode
+                # checkpoint's terminal point.
+                trace_obj.complete = True
+        self.slo.on_stop_time(group.group_id, result.stop_ns)
 
         group.stats["checkpoints"] += 1
         group.stats["stop_ns_total"] += result.stop_ns

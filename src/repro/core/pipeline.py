@@ -24,10 +24,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
 
+from ..errors import SLSError
 from ..hw.memory import Page
 from ..objstore import records
 from ..units import PAGE_SIZE
-from . import costs, telemetry
+from . import costs, events, telemetry
 from .quiesce import quiesce_group, resume_group
 from .serialize import CheckpointSerializer
 
@@ -208,9 +209,20 @@ class Serialize(Stage):
         # group's epoch floor.  ``full=True`` (and the first checkpoint
         # of a chain, floor None) serializes everything.
         floor = None if ctx.full else ctx.group.ckpt_epoch
+        # A clean object may only be skipped when the parent chain can
+        # still resolve its record; without that set (legacy chains,
+        # a GC'd parent) incremental skipping is disabled for safety.
+        prior_live = None
+        if floor is not None and ctx.group.last_ckpt_id is not None:
+            try:
+                prior_live = ctx.store.effective_live_oids(
+                    ctx.group.last_ckpt_id)
+            except SLSError:
+                prior_live = None
         serializer = CheckpointSerializer(ctx.kernel, ctx.group,
                                           ctx.store, ctx.txn,
-                                          epoch_floor=floor)
+                                          epoch_floor=floor,
+                                          prior_live=prior_live)
         serializer.serialize_all()
         live = set(serializer.live_oids)
         for item in ctx.flush_items:
@@ -274,10 +286,18 @@ class Flush(Stage):
         group.flush_in_progress = True
         kernel, store, shadow = ctx.kernel, ctx.store, ctx.shadow
         extsync = ctx.extsync
+        # Quiesce start: the instant whose application state this
+        # checkpoint captures (the SLO tracker's recovery-point
+        # reference).
+        capture_ns = ctx.trace[0].start_ns if ctx.trace else kernel.clock.now()
+        slo_tracker = getattr(ctx.sls, "slo", None)
 
         def on_complete(info):
             group.flush_in_progress = False
             group.last_complete_id = info.ckpt_id
+            if slo_tracker is not None:
+                slo_tracker.on_commit(group.group_id, info.ckpt_id,
+                                      capture_ns, kernel.clock.now())
             shadow.mark_flushed(group)
             extsync.release(info.ckpt_id)
             if group.history_limit is not None:
@@ -298,6 +318,9 @@ class Flush(Stage):
             # submission): subsequent checkpoints may skip objects
             # unchanged since this epoch.
             group.ckpt_epoch = ctx.new_epoch_floor
+            events.emit(ctx.clock.now(), events.EPOCH_ADVANCE,
+                        group=group.group_id, epoch=ctx.new_epoch_floor,
+                        ckpt=ctx.info.ckpt_id)
 
 
 class Commit(Stage):
@@ -415,13 +438,16 @@ class CheckpointPipeline:
         for index, stage in enumerate(self.stages):
             if plan is not None:
                 plan.on_stage(stage.name, "before")
-            start = clock.now()
-            stage.run(ctx)
-            end = clock.now()
-            ctx.trace.append(StageTrace(stage.name, start, end,
-                                        stage.overlap))
-            self.telemetry.record_span(f"ckpt.{stage.name}", start, end,
+            # Open the stage span as a context so serializer / store /
+            # device spans recorded inside nest under it in the
+            # checkpoint's trace tree (span close records into the same
+            # ``ckpt.<stage>`` histogram as before).
+            span = self.telemetry.span(clock, f"ckpt.{stage.name}",
                                        group=ctx.group.group_id)
+            with span:
+                stage.run(ctx)
+            ctx.trace.append(StageTrace(stage.name, span.start_ns,
+                                        clock.now(), stage.overlap))
             if plan is not None and index == last:
                 plan.on_stage(stage.name, "after")
         return CheckpointResult.from_context(ctx)

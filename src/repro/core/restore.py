@@ -34,7 +34,7 @@ from ..kernel.proc.signals import SIGCHLD, SIGSLSRESTORE
 from ..kernel.vm.vmobject import VMObject
 from ..objstore.oid import CLASS_MEMORY, oid_class
 from ..units import PAGE_SIZE
-from . import costs, telemetry
+from . import costs, events, telemetry, tracing
 from .group import ConsistencyGroup, ObjectTrack
 
 
@@ -78,11 +78,27 @@ class GroupRestorer:
 
     def restore(self, ckpt_id: int, lazy: bool = False) -> RestoreResult:
         """Recreate the group from ``ckpt_id``; returns the result."""
-        start = self.kernel.clock.now()
-        record_extents, page_locs = self.store.merged_view(ckpt_id)
-        io_start = self.kernel.clock.now()
-        decoded = self.store.read_object_records(record_extents)
-        self.io_ns += self.kernel.clock.now() - io_start
+        with tracing.trace(self.kernel.clock, tracing.RESTORE,
+                           ckpt=ckpt_id) as trace_obj:
+            result = self._restore_traced(ckpt_id, lazy, trace_obj)
+            if trace_obj is not None:
+                trace_obj.complete = True
+            events.emit(self.kernel.clock.now(), events.RESTORE_DONE,
+                        group=result.group.group_id, ckpt=ckpt_id,
+                        lazy=lazy, pages_eager=result.pages_restored,
+                        pages_lazy=result.pages_lazy)
+        return result
+
+    def _restore_traced(self, ckpt_id: int, lazy: bool,
+                        trace_obj) -> RestoreResult:
+        registry = telemetry.registry()
+        clock = self.kernel.clock
+        start = clock.now()
+        with registry.span(clock, "restore.read", ckpt=ckpt_id):
+            record_extents, page_locs = self.store.merged_view(ckpt_id)
+            io_start = clock.now()
+            decoded = self.store.read_object_records(record_extents)
+            self.io_ns += clock.now() - io_start
 
         descriptor = None
         for oid, (otype, state) in decoded.items():
@@ -98,20 +114,21 @@ class GroupRestorer:
         group.desc_oid = desc_oid
         group.last_ckpt_id = ckpt_id
         group.last_complete_id = ckpt_id
+        if trace_obj is not None:
+            trace_obj.labels["group"] = group.group_id
 
-        self._create_shells(decoded, page_locs, lazy)
-        self._link_backings(decoded)
-        self._create_files(decoded)
-        self._link_sockets(decoded)
-        processes = self._create_processes(decoded, desc, group)
-        self._register_tracks(decoded, group)
-        self._reissue_aio(desc)
-        self._post_restore_signals(desc, processes)
+        with registry.span(clock, "restore.build", group=group.group_id):
+            self._create_shells(decoded, page_locs, lazy)
+            self._link_backings(decoded)
+            self._create_files(decoded)
+            self._link_sockets(decoded)
+            processes = self._create_processes(decoded, desc, group)
+            self._register_tracks(decoded, group)
+            self._reissue_aio(desc)
+            self._post_restore_signals(desc, processes)
 
-        elapsed = self.kernel.clock.now() - start
-        registry = telemetry.registry()
-        registry.record_span("restore.group", start,
-                             self.kernel.clock.now(),
+        elapsed = clock.now() - start
+        registry.record_span("restore.group", start, clock.now(),
                              group=group.group_id)
         registry.counter("sls.restore.pages_eager",
                          group=group.group_id).add(self.pages_restored)

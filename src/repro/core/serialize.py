@@ -25,7 +25,8 @@ the dirty set, which is the point.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set
+import functools
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..errors import InvalidArgument, PermissionDenied
 from ..kernel.fs.file import (DTYPE_DEVICE, DTYPE_KQUEUE, DTYPE_PIPE,
@@ -36,11 +37,28 @@ from ..objstore.oid import CLASS_FILE, CLASS_GROUP, CLASS_POSIX
 from . import costs, telemetry
 
 
+def _traced(otype: str) -> Callable:
+    """Wrap a serializer method in a ``serialize.<otype>`` span so each
+    serialized object becomes a child of the checkpoint's serialize
+    stage in the causal trace (recording reads the clock, never
+    advances it)."""
+    def wrap(method: Callable) -> Callable:
+        @functools.wraps(method)
+        def inner(self, *args, **kwargs):
+            with telemetry.registry().span(self.kernel.clock,
+                                           f"serialize.{otype}",
+                                           group=self.group.group_id):
+                return method(self, *args, **kwargs)
+        return inner
+    return wrap
+
+
 class CheckpointSerializer:
     """Serializes one consistency group's OS state into a txn."""
 
     def __init__(self, kernel: Any, group: Any, store: Any, txn: Any,
-                 epoch_floor: Optional[int] = None) -> None:
+                 epoch_floor: Optional[int] = None,
+                 prior_live: Optional[Set[int]] = None) -> None:
         self.kernel = kernel
         self.group = group
         self.store = store
@@ -48,6 +66,12 @@ class CheckpointSerializer:
         #: Objects whose ``dirty_epoch`` ≤ the floor were captured by a
         #: previous checkpoint of this chain; None forces a full pass.
         self.epoch_floor = epoch_floor
+        #: OIDs resolvable from the parent checkpoint's chain.  A clean
+        #: object may only be skipped when its record is actually
+        #: reachable there: an object that predates the floor but was
+        #: unreachable at the previous checkpoint (a closed-then-
+        #: reopened file's vnode) has no on-disk record to resolve.
+        self.prior_live = prior_live
         #: OIDs already visited in this pass (dedup).
         self._done: Set[int] = set()
         #: Every OID the walk reached — the checkpoint's live set.
@@ -70,12 +94,23 @@ class CheckpointSerializer:
         epoch = getattr(kobj, "dirty_epoch", None)
         return epoch is not None and epoch <= self.epoch_floor
 
+    def _skippable(self, kobj: Any, obj_class: int = CLASS_POSIX) -> bool:
+        """Unchanged since the floor AND resolvable from the parent
+        chain.  Cleanliness alone is not enough: an object that
+        predates the floor but was unreachable at the previous
+        checkpoint (a closed-then-reopened file's vnode) has no
+        on-disk record for the merged view to resolve."""
+        if not self._clean(kobj):
+            return False
+        oid = self.group.oid_for(kobj, self.store, obj_class)
+        return self.prior_live is not None and oid in self.prior_live
+
     def _put_once(self, kobj: Any, otype: str, state: Dict[str, Any],
                   obj_class: int = CLASS_POSIX, force: bool = False) -> int:
         oid = self._oid(kobj, obj_class)
         if oid not in self._done:
             self._done.add(oid)
-            if not force and self._clean(kobj):
+            if not force and self._skippable(kobj, obj_class):
                 self.records_skipped += 1
             else:
                 self.txn.put_object(oid, otype, state)
@@ -124,6 +159,7 @@ class CheckpointSerializer:
 
     # -- processes ---------------------------------------------------------------------
 
+    @_traced("proc")
     def serialize_process(self, proc: Any) -> int:
         """One process: identity, threads, map entries, fd table.
 
@@ -194,6 +230,7 @@ class CheckpointSerializer:
 
     # -- descriptors ----------------------------------------------------------------------
 
+    @_traced("fdtable")
     def serialize_fdtable(self, fdtable: Any) -> int:
         """The fd table: slot -> OpenFile OID (sharing preserved).
 
@@ -207,6 +244,7 @@ class CheckpointSerializer:
             fds[str(fd)] = self.serialize_file(file)
         return self._put_once(fdtable, "fdtable", {"fds": fds})
 
+    @_traced("file")
     def serialize_file(self, file: OpenFile) -> int:
         """One OpenFile: mode, offset, underlying object reference."""
         state = {
@@ -238,6 +276,7 @@ class CheckpointSerializer:
 
     # -- individual object types (Table 4) ------------------------------------------------------
 
+    @_traced("vnode")
     def serialize_vnode(self, vnode: Any) -> int:
         """Vnodes are checkpointed as an inode reference — no namei or
         name-cache walk (§5.2), hence Table 4's 1.7 µs."""
@@ -245,7 +284,7 @@ class CheckpointSerializer:
         if oid in self._done:
             return oid
         self._done.add(oid)
-        if self._clean(vnode):
+        if self._skippable(vnode, CLASS_FILE):
             self.records_skipped += 1
             return oid
         self.kernel.clock.advance(costs.CKPT_VNODE)
@@ -264,9 +303,10 @@ class CheckpointSerializer:
             self.txn.put_pages(oid, dict(vnode.vmobject.pages))
         return oid
 
+    @_traced("pipe")
     def serialize_pipe(self, pipe: Any) -> int:
         """A pipe: buffer contents + endpoint liveness (Table 4)."""
-        if not self._clean(pipe):
+        if not self._skippable(pipe):
             self.kernel.clock.advance(costs.CKPT_PIPE)
         return self._put_once(pipe, "pipe", {
             "buffer": bytes(pipe.buffer),
@@ -285,6 +325,7 @@ class CheckpointSerializer:
             return self.serialize_tcp(sock)
         raise InvalidArgument(f"unknown socket type {sock.obj_type}")
 
+    @_traced("unixsock")
     def serialize_unix_socket(self, sock: Any) -> int:
         """UNIX sockets: the buffer is *parsed* for control messages so
         every in-flight descriptor is chased and persisted (§5.3).
@@ -304,7 +345,7 @@ class CheckpointSerializer:
                 if message.control.creds is not None:
                     entry["creds"] = list(message.control.creds)
             messages.append(entry)
-        if self._clean(sock):
+        if self._skippable(sock):
             self.records_skipped += 1
             return oid
         self.kernel.clock.advance(costs.CKPT_SOCKET)
@@ -324,9 +365,10 @@ class CheckpointSerializer:
         self.records_written += 1
         return oid
 
+    @_traced("udpsock")
     def serialize_udp(self, sock: Any) -> int:
         """A UDP socket: binding, options, queued datagrams (§5.3)."""
-        if not self._clean(sock):
+        if not self._skippable(sock):
             self.kernel.clock.advance(costs.CKPT_SOCKET)
         return self._put_once(sock, "udpsock", {
             "laddr": sock.laddr,
@@ -336,11 +378,12 @@ class CheckpointSerializer:
                           for d in sock.rcvqueue],
         })
 
+    @_traced("tcpsock")
     def serialize_tcp(self, sock: Any) -> int:
         """TCP: 5-tuple, sequence numbers, options and buffers; the
         accept queue is deliberately omitted — clients see a dropped
         SYN and retry (§5.3)."""
-        if not self._clean(sock):
+        if not self._skippable(sock):
             self.kernel.clock.advance(costs.CKPT_SOCKET)
         peer_oid = None
         if sock.peer is not None and sock.peer.kid in self.group.oid_map:
@@ -360,11 +403,12 @@ class CheckpointSerializer:
             "peer_oid": peer_oid,
         })
 
+    @_traced("kqueue")
     def serialize_kqueue(self, kq: Any) -> int:
         """Cost scales with registered events: each knote is locked and
         serialized (Table 4: 35.2 µs for 1024 events)."""
         events = kq.events()
-        if not self._clean(kq):
+        if not self._skippable(kq):
             self.kernel.clock.advance(
                 costs.CKPT_KQUEUE_BASE +
                 len(events) * costs.CKPT_KEVENT_EACH)
@@ -375,9 +419,10 @@ class CheckpointSerializer:
                        for e in events],
         })
 
+    @_traced("pty")
     def serialize_pty(self, pty: Any) -> int:
         """A pseudoterminal: termios + both direction buffers."""
-        if not self._clean(pty):
+        if not self._skippable(pty):
             self.kernel.clock.advance(costs.CKPT_PTY)
         return self._put_once(pty, "pty", {
             "unit": pty.unit,
@@ -386,6 +431,7 @@ class CheckpointSerializer:
             "to_master": bytes(pty._to_master),
         })
 
+    @_traced("shm")
     def serialize_shm(self, segment: Any) -> int:
         """POSIX shm is direct; SysV requires scanning the global
         namespace table (Table 4: 14.9 µs vs 4.5 µs)."""
@@ -395,7 +441,7 @@ class CheckpointSerializer:
                 self.live_oids.add(segment.vmobject.sls_oid)
             return oid
         self._done.add(oid)
-        if self._clean(segment) and segment.vmobject.sls_oid is not None:
+        if self._skippable(segment) and segment.vmobject.sls_oid is not None:
             self.live_oids.add(segment.vmobject.sls_oid)
             self.records_skipped += 1
             return oid
@@ -436,11 +482,12 @@ class CheckpointSerializer:
             self.txn.put_pages(vm_oid, pages)
         return oid
 
+    @_traced("device")
     def serialize_device(self, device: Any) -> int:
         """A whitelisted device: name only (recreated at restore)."""
         if device.name not in DEVICE_WHITELIST:
             raise PermissionDenied(
                 f"device {device.name!r} cannot be persisted")
-        if not self._clean(device):
+        if not self._skippable(device):
             self.kernel.clock.advance(costs.CKPT_PIPE)  # trivial record
         return self._put_once(device, "device", {"name": device.name})

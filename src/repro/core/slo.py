@@ -1,0 +1,213 @@
+"""RPO and stop-time SLO tracking for the continuous checkpoint loop.
+
+Aurora's headline numbers — 100 Hz continuous checkpointing with
+millisecond persistence and sub-millisecond stop times (§6) — are
+service level objectives.  The :class:`SLOTracker` turns them into
+monitored budgets:
+
+* **Recovery-point lag** — the worst-case data loss were power to fail
+  just before a commit lands: the sim-time between a checkpoint's
+  durable commit and the *capture instant* (quiesce start) of the
+  previous durable checkpoint.  At a steady 100 Hz with async flushes
+  this hovers around one period plus the flush latency; the default
+  budget is 10 ms (one period).
+* **Stop time** — the quiesce→resume window of each checkpoint;
+  budget 1 ms (§4.1's "a millisecond or less").
+* **End-to-end latency** — capture instant to durable commit of the
+  same checkpoint (the "continuous persistence lag" of §6).
+
+Samples are exact (per-checkpoint values, not histogram buckets), so
+``sls slo``'s max/p50/p99 can be cross-checked against the known
+commit schedule of a deterministic run — which a test does.  Budget
+violations are counted per group in ``sls.slo.violations`` counters.
+
+The tracker is fed by the orchestrator (stop time after each pipeline
+run, commit data from the store's completion callback) and never
+advances the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..units import MSEC
+from . import telemetry, tracing
+
+#: Default budgets: one 100 Hz period of recovery-point lag, and the
+#: paper's sub-millisecond stop time.
+DEFAULT_RPO_NS = 10 * MSEC
+DEFAULT_STOP_NS = 1 * MSEC
+
+#: Exact samples kept per series (oldest dropped beyond this).
+SAMPLE_CAPACITY = 65536
+
+
+def percentile_exact(values: List[int], p: float) -> int:
+    """Nearest-rank percentile over exact samples (0 when empty)."""
+    if not values:
+        return 0
+    ordered = sorted(values)
+    rank = max(1, int(len(ordered) * p / 100.0 + 0.9999))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class SLOTargets:
+    """Configurable budgets."""
+
+    __slots__ = ("rpo_ns", "stop_ns")
+
+    def __init__(self, rpo_ns: int = DEFAULT_RPO_NS,
+                 stop_ns: int = DEFAULT_STOP_NS):
+        self.rpo_ns = rpo_ns
+        self.stop_ns = stop_ns
+
+    def __repr__(self) -> str:
+        return f"SLOTargets(rpo={self.rpo_ns}ns, stop={self.stop_ns}ns)"
+
+
+class _Series:
+    """One bounded exact-sample series."""
+
+    __slots__ = ("values", "dropped")
+
+    def __init__(self) -> None:
+        self.values: List[int] = []
+        self.dropped = 0
+
+    def add(self, value: int) -> None:
+        if len(self.values) >= SAMPLE_CAPACITY:
+            self.values.pop(0)
+            self.dropped += 1
+        self.values.append(value)
+
+    def summary(self) -> Dict[str, int]:
+        values = self.values
+        return {
+            "count": len(values),
+            "max": max(values) if values else 0,
+            "p50": percentile_exact(values, 50),
+            "p95": percentile_exact(values, 95),
+            "p99": percentile_exact(values, 99),
+        }
+
+
+class _GroupSLO:
+    """Per-consistency-group SLO state."""
+
+    def __init__(self, group_id: int):
+        self.group_id = group_id
+        self.rpo_lag = _Series()
+        self.stop = _Series()
+        self.e2e = _Series()
+        #: Capture instant of the newest durable checkpoint.
+        self.last_durable_capture: Optional[int] = None
+        self.commits = 0
+
+
+class SLOTracker:
+    """Derives RPO/stop-time/latency SLO compliance from the feed the
+    orchestrator provides."""
+
+    def __init__(self, targets: Optional[SLOTargets] = None):
+        self.targets = targets or SLOTargets()
+        self.groups: Dict[int, _GroupSLO] = {}
+
+    def _group(self, group_id: int) -> _GroupSLO:
+        state = self.groups.get(group_id)
+        if state is None:
+            state = _GroupSLO(group_id)
+            self.groups[group_id] = state
+        return state
+
+    def _violate(self, group_id: int, budget: str) -> None:
+        telemetry.registry().counter("sls.slo.violations",
+                                     group=group_id,
+                                     budget=budget).add(1)
+
+    # -- the orchestrator feed ----------------------------------------------------
+
+    def on_stop_time(self, group_id: int, stop_ns: int) -> None:
+        """One checkpoint's quiesce→resume window closed."""
+        state = self._group(group_id)
+        state.stop.add(stop_ns)
+        if stop_ns > self.targets.stop_ns:
+            self._violate(group_id, "stop")
+
+    def on_commit(self, group_id: int, ckpt_id: int,
+                  capture_ns: int, commit_ns: int) -> None:
+        """A checkpoint became durable.
+
+        ``capture_ns`` is the checkpoint's quiesce-start instant (the
+        state it made durable is the state *as of* that time).
+        """
+        state = self._group(group_id)
+        prev = state.last_durable_capture
+        # Worst-case loss just before this commit landed: everything
+        # since the previous durable capture.  The first commit of a
+        # chain has no predecessor; its own capture bounds the lag.
+        lag = commit_ns - (prev if prev is not None else capture_ns)
+        state.rpo_lag.add(lag)
+        state.e2e.add(commit_ns - capture_ns)
+        state.last_durable_capture = capture_ns
+        state.commits += 1
+        if lag > self.targets.rpo_ns:
+            self._violate(group_id, "rpo")
+
+    # -- reporting ---------------------------------------------------------------
+
+    def violations(self, group_id: int, budget: str) -> int:
+        return telemetry.registry().value("sls.slo.violations",
+                                          group=group_id, budget=budget)
+
+    def report(self, group_id: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Per-group SLO summary rows (the ``sls slo`` payload)."""
+        rows = []
+        for gid in sorted(self.groups):
+            if group_id is not None and gid != group_id:
+                continue
+            state = self.groups[gid]
+            rows.append({
+                "group": gid,
+                "commits": state.commits,
+                "rpo_lag": state.rpo_lag.summary(),
+                "stop": state.stop.summary(),
+                "e2e": state.e2e.summary(),
+                "rpo_target_ns": self.targets.rpo_ns,
+                "stop_target_ns": self.targets.stop_ns,
+                "rpo_violations": self.violations(gid, "rpo"),
+                "stop_violations": self.violations(gid, "stop"),
+            })
+        return rows
+
+
+def critical_path_summary(group_id: Optional[int] = None
+                          ) -> List[Dict[str, Any]]:
+    """Aggregate stage self-time decomposition over every finished
+    checkpoint trace: where checkpoint wall time actually goes.
+
+    Returns rows ``{name, count, total_ns, self_ns, mean_self_ns}``
+    summed across the direct children of each checkpoint trace's root
+    (the pipeline stages), ordered by total self time.
+    """
+    labels = {} if group_id is None else {"group": group_id}
+    totals: Dict[str, Dict[str, int]] = {}
+    for trace_obj in tracing.tracer().traces(tracing.CHECKPOINT, **labels):
+        for row in tracing.critical_path(trace_obj):
+            agg = totals.setdefault(row["name"],
+                                    {"count": 0, "total_ns": 0,
+                                     "self_ns": 0})
+            agg["count"] += 1
+            agg["total_ns"] += row["duration_ns"]
+            agg["self_ns"] += row["self_ns"]
+    rows = []
+    for name, agg in totals.items():
+        rows.append({
+            "name": name,
+            "count": agg["count"],
+            "total_ns": agg["total_ns"],
+            "self_ns": agg["self_ns"],
+            "mean_self_ns": (agg["self_ns"] // agg["count"]
+                             if agg["count"] else 0),
+        })
+    rows.sort(key=lambda row: -row["self_ns"])
+    return rows

@@ -16,7 +16,23 @@ Three primitives:
 * spans — ``registry.record_span(name, start, end, **labels)`` keeps a
   bounded trace ring and feeds a histogram of the same name, which is
   how per-stage checkpoint timings become queryable after the fact
-  (``sls stat``).
+  (``sls stat``).  Evictions from the full ring are counted in
+  ``sls.telemetry.spans_dropped``.
+
+Spans are *causal*: every span carries ``trace_id``/``span_id``/
+``parent_id`` slots.  When an operation trace is active (see
+:mod:`.tracing`), the registry attributes each recorded span to it —
+nested ``registry.span(...)`` context managers produce a proper parent
+tree, and post-hoc ``record_span`` calls parent to the innermost open
+span.  The registry itself stays tracing-agnostic: the active trace is
+any object with the small ``alloc/push/pop/attach`` protocol, supplied
+by :func:`repro.core.tracing.trace`.
+
+``set_enabled(False)`` turns span/trace recording off entirely (the
+ring, histograms fed by spans, traces and the event log all go quiet;
+counters stay live — subsystems use them for bookkeeping).  Recording
+never advances the simulated clock either way, so instrumented and
+uninstrumented runs are timing-identical — asserted by test.
 
 :class:`StatsView` is the compatibility shim: a dict-shaped view over
 registry counters so existing readers of ``group.stats["checkpoints"]``
@@ -107,9 +123,15 @@ class Histogram:
 
 
 class SpanRecord:
-    """One completed span on the simulated clock."""
+    """One completed span on the simulated clock.
 
-    __slots__ = ("name", "labels", "start_ns", "end_ns")
+    ``trace_id``/``span_id``/``parent_id`` are None for spans recorded
+    outside any operation trace; inside one they form the causal tree
+    the Chrome exporter and the critical-path analyzer consume.
+    """
+
+    __slots__ = ("name", "labels", "start_ns", "end_ns",
+                 "trace_id", "span_id", "parent_id")
 
     def __init__(self, name: str, labels: Dict[str, object],
                  start_ns: int, end_ns: int):
@@ -117,6 +139,9 @@ class SpanRecord:
         self.labels = labels
         self.start_ns = start_ns
         self.end_ns = end_ns
+        self.trace_id: Optional[int] = None
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
 
     @property
     def duration_ns(self) -> int:
@@ -128,9 +153,14 @@ class SpanRecord:
 
 
 class _SpanContext:
-    """Context manager produced by :meth:`TelemetryRegistry.span`."""
+    """Context manager produced by :meth:`TelemetryRegistry.span`.
 
-    __slots__ = ("registry", "clock", "name", "labels", "start_ns")
+    While the with-block is open the span sits on the active trace's
+    stack, so spans recorded inside become its children.
+    """
+
+    __slots__ = ("registry", "clock", "name", "labels", "start_ns",
+                 "span_id")
 
     def __init__(self, registry: "TelemetryRegistry", clock, name: str,
                  labels: Dict[str, object]):
@@ -139,14 +169,22 @@ class _SpanContext:
         self.name = name
         self.labels = labels
         self.start_ns: Optional[int] = None
+        self.span_id: Optional[int] = None
 
     def __enter__(self) -> "_SpanContext":
         self.start_ns = self.clock.now()
+        trace = self.registry.active_trace
+        if trace is not None:
+            self.span_id = trace.push()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        trace = self.registry.active_trace
+        if trace is not None and self.span_id is not None:
+            trace.pop(self.span_id)
         self.registry.record_span(self.name, self.start_ns,
-                                  self.clock.now(), **self.labels)
+                                  self.clock.now(),
+                                  span_id=self.span_id, **self.labels)
 
 
 class TelemetryRegistry:
@@ -160,6 +198,11 @@ class TelemetryRegistry:
         self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
         self.spans: deque = deque(maxlen=span_capacity)
+        #: Span/trace/event recording switch (counters stay live).
+        self.enabled = True
+        #: The operation trace spans are currently attributed to (an
+        #: object with the alloc/push/pop/attach protocol), or None.
+        self.active_trace: Optional[object] = None
 
     # -- metric access ------------------------------------------------------------
 
@@ -182,9 +225,21 @@ class TelemetryRegistry:
     # -- spans --------------------------------------------------------------------
 
     def record_span(self, name: str, start_ns: int, end_ns: int,
-                    **labels) -> SpanRecord:
-        """Record a completed span and feed its latency histogram."""
+                    span_id: Optional[int] = None, **labels) -> SpanRecord:
+        """Record a completed span and feed its latency histogram.
+
+        ``span_id`` is supplied by :class:`_SpanContext` when the span
+        was pushed on an operation trace at open time; post-hoc calls
+        leave it None and the active trace (if any) allocates one.
+        """
         span = SpanRecord(name, labels, start_ns, end_ns)
+        if not self.enabled:
+            return span
+        trace = self.active_trace
+        if trace is not None:
+            trace.attach(span, span_id=span_id)
+        if len(self.spans) == self.spans.maxlen:
+            self.counter("sls.telemetry.spans_dropped").add(1)
         self.spans.append(span)
         self.histogram(name, **labels).observe(span.duration_ns)
         return span
@@ -235,6 +290,9 @@ class TelemetryRegistry:
                 "total_ns": histogram.total,
                 "mean_ns": histogram.mean,
                 "max_ns": histogram.max,
+                "p50_ns": histogram.percentile(50),
+                "p95_ns": histogram.percentile(95),
+                "p99_ns": histogram.percentile(99),
             })
         return rows
 
@@ -243,6 +301,8 @@ class TelemetryRegistry:
         self._counters.clear()
         self._histograms.clear()
         self.spans.clear()
+        self.enabled = True
+        self.active_trace = None
 
 
 #: The process-wide registry.  Components grab it at construction; the
@@ -255,14 +315,45 @@ _REGISTRY = TelemetryRegistry()
 _INSTANCES = itertools.count(1)
 
 
+#: Callbacks run by :func:`reset` so sibling singletons (the tracer,
+#: the event log) clear in lock-step with the registry.  Registered at
+#: import time by :mod:`.tracing` and :mod:`.events` — telemetry never
+#: imports them.
+_RESET_HOOKS: List = []
+
+
+def on_reset(hook) -> None:
+    """Register a callable to run whenever :func:`reset` is called."""
+    _RESET_HOOKS.append(hook)
+
+
 def registry() -> TelemetryRegistry:
     """The process-wide telemetry registry."""
     return _REGISTRY
 
 
 def reset() -> None:
-    """Clear the process-wide registry (between tests/experiments)."""
+    """Clear the process-wide registry (between tests/experiments).
+
+    Instance labels restart too, so two identical experiments bracketed
+    by ``reset()`` produce identical metrics and trace trees — the
+    determinism the trace tests assert.
+    """
+    global _INSTANCES
     _REGISTRY.reset()
+    _INSTANCES = itertools.count(1)
+    for hook in _RESET_HOOKS:
+        hook()
+
+
+def set_enabled(flag: bool) -> None:
+    """Turn span/trace/event recording on or off process-wide."""
+    _REGISTRY.enabled = flag
+
+
+def enabled() -> bool:
+    """Whether span/trace/event recording is currently on."""
+    return _REGISTRY.enabled
 
 
 def next_instance() -> int:

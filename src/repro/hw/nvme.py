@@ -58,6 +58,7 @@ class NVMeDevice:
         # Telemetry counters are resolved once here: submit/read are
         # the hot paths, so no registry lookups per command.
         registry = telemetry.registry()
+        self._registry = registry
         inst = telemetry.next_instance()
         self._t_bytes_written = registry.counter(
             "nvme.bytes_written", device=name, inst=inst)
@@ -102,6 +103,7 @@ class NVMeDevice:
                 f"write [{offset}, {offset + nbytes}) beyond {self.name} "
                 f"capacity {self.capacity}"
             )
+        submitted = self.clock.now()
         if sync:
             done = self._command_time(nbytes, costs.SYNC_WRITE_LATENCY,
                                       costs.SYNC_WRITE_BW)
@@ -113,6 +115,12 @@ class NVMeDevice:
         self.write_commands += 1
         self._t_bytes_written.add(nbytes)
         self._t_write_commands.add(1)
+        if self._registry.enabled:
+            # Submission→completion span: the IO is attributed to
+            # whatever operation trace is active (the registry's
+            # ambient trace), without this layer knowing about traces.
+            self._registry.record_span("nvme.write", submitted, done,
+                                       device=self.name)
         return done
 
     def poll(self) -> None:
@@ -143,6 +151,7 @@ class NVMeDevice:
         except KeyError:
             raise StoreError(f"no extent at offset {offset} on {self.name}")
         nbytes = payload_length(payload)
+        submitted = self.clock.now()
         done = self._command_time(nbytes, costs.NVME_READ_LATENCY,
                                   costs.NVME_READ_BW)
         self.clock.advance_to(done)
@@ -150,6 +159,9 @@ class NVMeDevice:
         self.read_commands += 1
         self._t_bytes_read.add(nbytes)
         self._t_read_commands.add(1)
+        if self._registry.enabled:
+            self._registry.record_span("nvme.read", submitted, done,
+                                       device=self.name)
         return payload
 
     def read_async(self, offset: int) -> Tuple[Payload, int]:
@@ -164,12 +176,16 @@ class NVMeDevice:
         except KeyError:
             raise StoreError(f"no extent at offset {offset} on {self.name}")
         nbytes = payload_length(payload)
+        submitted = self.clock.now()
         done = self._command_time(nbytes, costs.NVME_READ_LATENCY,
                                   costs.NVME_READ_BW)
         self.bytes_read += nbytes
         self.read_commands += 1
         self._t_bytes_read.add(nbytes)
         self._t_read_commands.add(1)
+        if self._registry.enabled:
+            self._registry.record_span("nvme.read", submitted, done,
+                                       device=self.name)
         return payload, done
 
     def has_extent(self, offset: int) -> bool:

@@ -58,6 +58,8 @@ class Machine:
         checkpoint pipeline stage boundary until the next crash.
         """
         self.fault_plan = plan
+        if plan is not None:
+            plan.clock = self.clock
         self.storage.fault_plan = plan
 
     def clear_fault_plan(self) -> None:

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..core import telemetry
+from ..core import events, telemetry, tracing
 from ..errors import CorruptRecord, StoreError
 from . import records
 from .checkpoint import CheckpointInfo
@@ -80,6 +80,9 @@ class ScrubReport:
 
     def __init__(self) -> None:
         self.findings: List[Finding] = []
+        #: Set by :func:`scrub` so each finding also lands in the
+        #: structured event log at the sim-instant it was observed.
+        self.clock: Optional[Any] = None
         self.superblocks_valid = 0
         self.generation: Optional[int] = None
         self.checkpoints_scanned = 0
@@ -101,6 +104,9 @@ class ScrubReport:
             ckpt_id: Optional[int] = None) -> None:
         self.findings.append(Finding(kind, detail, ckpt_id))
         self.stats["findings"] += 1
+        if self.clock is not None:
+            events.emit(self.clock.now(), events.SCRUB_FINDING,
+                        finding=kind, detail=detail, ckpt=ckpt_id)
 
     def __repr__(self) -> str:
         verdict = "clean" if self.ok else f"{len(self.findings)} finding(s)"
@@ -307,10 +313,25 @@ def scrub(store: Any, sls: Optional[Any] = None) -> ScrubReport:
 
     ``store`` supplies the device and (when mounted) the in-memory
     refcounts to cross-check.  Passing the orchestrator as ``sls``
-    additionally checks live groups' shadow-chain invariant.
+    additionally checks live groups' shadow-chain invariant.  The walk
+    runs under a ``scrub`` operation trace; findings are also emitted
+    into the structured event log.
     """
     report = ScrubReport()
+    report.clock = getattr(store, "clock", None)
     report.stats["runs"] += 1
+    clock = report.clock
+    if clock is None:
+        return _scrub_walk(store, sls, report)
+    with tracing.trace(clock, tracing.SCRUB) as trace_obj:
+        _scrub_walk(store, sls, report)
+        if trace_obj is not None:
+            trace_obj.complete = True
+    return report
+
+
+def _scrub_walk(store: Any, sls: Optional[Any],
+                report: ScrubReport) -> ScrubReport:
     device = store.device
 
     slots = _read_superblocks(device)

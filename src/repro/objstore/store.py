@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..core import costs, telemetry
+from ..core import costs, events, telemetry, tracing
 from ..errors import (CorruptRecord, InvalidArgument, NoSuchCheckpoint,
                       NoSuchObject, StoreError)
 from ..hw.memory import Page
@@ -48,6 +48,10 @@ class CheckpointTxn:
         self.staged_records: List[Tuple[int, bytes]] = []
         self.staged_pages: Dict[int, Dict[int, Page]] = {}
         self.committed = False
+        #: The operation trace open when the transaction began; async
+        #: commit finalization re-enters it so the metadata/superblock
+        #: IOs are attributed to the checkpoint that issued them.
+        self.trace = tracing.current()
 
     def put_object(self, oid: int, otype: str, state: Any) -> None:
         """Stage one serialized object record."""
@@ -221,6 +225,20 @@ class ObjectStore:
 
     def _finalize_commit(self, txn: CheckpointTxn) -> None:
         """Data is durable: write meta + catalog, flip the superblock."""
+        with tracing.use(txn.trace):
+            with telemetry.registry().span(self.clock, "store.finalize",
+                                           group=txn.info.group_id):
+                self._finalize_commit_inner(txn)
+            if txn.trace is not None:
+                # The superblock flip landed: the checkpoint trace
+                # reached its durable point.  A crash before here
+                # leaves the trace incomplete.
+                txn.trace.complete = True
+            events.emit(self.clock.now(), events.CKPT_COMMIT,
+                        group=txn.info.group_id, ckpt=txn.info.ckpt_id,
+                        bytes=txn.info.data_bytes)
+
+    def _finalize_commit_inner(self, txn: CheckpointTxn) -> None:
         info = txn.info
         # The flushed pages' content is now durable: stamp them clean
         # so the pageout daemon can evict them without IO (§6).  A
@@ -472,8 +490,16 @@ class ObjectStore:
     def delete_checkpoint(self, ckpt_id: int) -> int:
         """WAFL-style snapshot deletion; returns bytes reclaimed."""
         self._require_mounted()
-        reclaimed = gc_mod.delete_checkpoint(self, ckpt_id)
+        info = self.checkpoints.get(ckpt_id)
+        group_id = info.group_id if info is not None else 0
+        with tracing.trace(self.clock, tracing.GC, group=group_id,
+                           ckpt=ckpt_id) as trace_obj:
+            reclaimed = gc_mod.delete_checkpoint(self, ckpt_id)
+            if trace_obj is not None:
+                trace_obj.complete = True
         self.stats["reclaimed_bytes"] += reclaimed
+        events.emit(self.clock.now(), events.GC_RECLAIM, group=group_id,
+                    ckpt=ckpt_id, bytes=reclaimed)
         return reclaimed
 
     def retain_last(self, group_id: int, keep: int) -> int:

@@ -257,3 +257,74 @@ def test_crash_mid_pipeline_leaves_prior_checkpoint_for_multiproc():
     result = sls2.restore(gid, periodic=False)
     assert result.root.vmspace.read(addr, 7) == b"durable"
     assert {p.name for p in result.processes} == {"parent", "child"}
+
+
+# -- fault injection meets the observability layer ---------------------------------
+
+
+def _crash_at_seal_scenario():
+    """One durable checkpoint, then a crash injected before seal.
+
+    Returns the fault events, the failure events and the finished
+    checkpoint traces of the run (telemetry freshly reset)."""
+    from repro.core import events, telemetry, tracing
+
+    telemetry.reset()
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("app")
+    addr = proc.vmspace.mmap(8 * PAGE_SIZE, name="heap")
+    proc.vmspace.fill(addr, 8, seed=1)
+    group = sls.attach(proc, periodic=False)
+    sls.checkpoint(group, sync=True)
+    proc.vmspace.fill(addr, 8, seed=2)
+    machine.set_fault_plan(
+        FaultPlan(name="seal").crash_at_stage("seal", BEFORE))
+    with pytest.raises(InjectedCrash):
+        sls.checkpoint(group, sync=True)
+    faults = [(e.time_ns, dict(e.fields)) for e in
+              events.log().matching(events.FAULT_INJECTED)]
+    fails = [(e.time_ns, dict(e.fields)) for e in
+             events.log().matching(events.CKPT_FAIL)]
+    traces = tracing.tracer().traces(tracing.CHECKPOINT,
+                                     group=group.group_id)
+    return faults, fails, traces
+
+
+def test_injected_fault_lands_in_event_log_at_deterministic_time():
+    """The fault's event-log entry carries the sim-instant it fired —
+    and two identical runs produce the identical entry."""
+    from repro.core import telemetry
+
+    faults1, fails1, _ = _crash_at_seal_scenario()
+    faults2, fails2, _ = _crash_at_seal_scenario()
+    telemetry.reset()
+    assert len(faults1) == 1
+    time_ns, fields = faults1[0]
+    assert fields["fault"] == "crash"
+    assert fields["stage"] == "seal" and fields["edge"] == BEFORE
+    assert faults1 == faults2
+    # The orchestrator logged the checkpoint failure at the same
+    # deterministic instant, naming the injected crash.
+    assert len(fails1) == 1
+    assert fails1 == fails2
+    assert "InjectedCrash" in fails1[0][1]["error"]
+
+
+def test_crashed_checkpoint_trace_is_marked_incomplete():
+    """The durable checkpoint's trace completes; the crashed one stays
+    incomplete with the error recorded — the post-mortem marker."""
+    from repro.core import telemetry
+
+    _faults, _fails, traces = _crash_at_seal_scenario()
+    telemetry.reset()
+    assert len(traces) == 2
+    durable, crashed = traces
+    assert durable.complete and durable.error is None
+    assert not crashed.complete
+    assert "InjectedCrash" in crashed.error
+    # The crashed trace still holds the stages that did run: quiesce
+    # through serialize, but nothing at or past the seal boundary.
+    names = {s.name for s in crashed.spans}
+    assert "ckpt.serialize" in names
+    assert "ckpt.flush" not in names
