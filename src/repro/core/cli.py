@@ -293,7 +293,8 @@ def cmd_slo(args) -> int:
     # Install the budgets before the measurement run so violations are
     # counted against them.
     targets = slo_mod.SLOTargets(rpo_ns=int(args.rpo_ms * _MSEC),
-                                 stop_ns=int(args.stop_ms * _MSEC))
+                                 stop_ns=int(args.stop_ms * _MSEC),
+                                 degraded_ns=int(args.degraded_ms * _MSEC))
     machine, sls = _load(args.image)
     sls.slo.targets = targets
     result = _restore_group(sls, args.group)
@@ -317,8 +318,13 @@ def cmd_slo(args) -> int:
                   f"p95 {fmt_time(s['p95']):>12} "
                   f"p99 {fmt_time(s['p99']):>12} "
                   f"max {fmt_time(s['max']):>12}")
+        print(f"  degraded n={row['degraded_spells']:<4} "
+              f"total {fmt_time(row['degraded_total_ns']):>12} "
+              f"budget {fmt_time(row['degraded_target_ns']):>12}"
+              f"{' (open spell)' if row['degraded_open'] else ''}")
         print(f"  violations: {row['rpo_violations']} rpo, "
-              f"{row['stop_violations']} stop")
+              f"{row['stop_violations']} stop, "
+              f"{row['degraded_violations']} degraded")
     print("critical path (mean self time per checkpoint stage):")
     for row in slo_mod.critical_path_summary(group.group_id):
         if row["self_ns"] == 0:
@@ -333,7 +339,11 @@ def cmd_scrub(args) -> int:
 
     Exit status 0 when the store is clean, 1 when any invariant is
     violated (corrupt record, dangling pointer, refcount drift,
-    overgrown shadow chain).  The image is never modified.
+    overgrown shadow chain).  Without ``--repair`` the image is never
+    modified; with it, mechanically fixable findings (damaged
+    superblock slot, stale refcounts, free-list overlaps, overgrown
+    shadow chains) are repaired in place, the image is rewritten, and
+    a re-scrub decides the exit status.
     """
     from ..objstore.scrub import scrub
     from ..objstore.store import ObjectStore
@@ -362,6 +372,26 @@ def cmd_scrub(args) -> int:
         where = (f" [ckpt {finding.ckpt_id}]"
                  if finding.ckpt_id is not None else "")
         print(f"  {finding.kind}{where}: {finding.detail}")
+    if not getattr(args, "repair", False):
+        return 1
+
+    from ..objstore.repair import repair
+
+    fixes = repair(store, report, sls=sls)
+    print(f"repair: {fixes.applied} fix(es) applied, "
+          f"{len(fixes.skipped)} skipped")
+    for action in fixes.actions:
+        print(f"  + {action.kind}: {action.detail}")
+    for action in fixes.skipped:
+        print(f"  - skipped {action.kind}: {action.detail}")
+    _save_image(machine, args.image)
+    recheck = scrub(store, sls=sls)
+    if recheck.ok:
+        print("re-scrub: store is clean")
+        return 0
+    print(f"re-scrub: {len(recheck.findings)} finding(s) remain:")
+    for finding in recheck.findings:
+        print(f"  {finding.kind}: {finding.detail}")
     return 1
 
 
@@ -565,6 +595,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("scrub", help="verify store integrity offline")
     p.add_argument("image")
+    p.add_argument("--repair", action="store_true",
+                   help="apply mechanical fixes, rewrite the image, "
+                        "and re-scrub")
     p.set_defaults(func=cmd_scrub)
 
     p = sub.add_parser("trace", help="export causal checkpoint traces")
@@ -605,6 +638,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="recovery-point budget in ms (default 10)")
     p.add_argument("--stop-ms", type=float, default=1.0,
                    help="stop-time budget in ms (default 1)")
+    p.add_argument("--degraded-ms", type=float, default=50.0,
+                   help="cumulative degraded-time budget in ms "
+                        "(default 50)")
     p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("restore", help="restore an application")

@@ -30,11 +30,22 @@ from . import telemetry
 CKPT_START = "checkpoint.start"
 CKPT_COMMIT = "checkpoint.commit"
 CKPT_FAIL = "checkpoint.fail"
+CKPT_ABORT = "checkpoint.abort"
 EPOCH_ADVANCE = "epoch.advance"
 FAULT_INJECTED = "fault.injected"
 GC_RECLAIM = "gc.reclaim"
 SCRUB_FINDING = "scrub.finding"
 RESTORE_DONE = "restore.done"
+RETRY = "resilience.retry"
+RETRY_EXHAUSTED = "resilience.exhausted"
+READ_FALLBACK = "resilience.read_fallback"
+REPAIR_APPLIED = "repair.applied"
+DEGRADED_ENTER = "degraded.enter"
+DEGRADED_EXIT = "degraded.exit"
+GC_EMERGENCY = "gc.emergency"
+LINK_DOWN = "replication.link_down"
+LINK_UP = "replication.link_up"
+FAILOVER = "replication.failover"
 
 
 class Event:

@@ -71,6 +71,16 @@ class ExternalSynchrony:
             self._sealed.setdefault(ckpt_id, []).extend(sends)
         return len(sends)
 
+    def unseal(self, group, ckpt_id: int) -> int:
+        """Checkpoint rolled back: its sealed sends were never made
+        durable, so they return to the group's open buffer and ride on
+        the next checkpoint instead of leaking in ``_sealed`` forever.
+        Returns the number of sends moved back."""
+        sends = self._sealed.pop(ckpt_id, [])
+        if sends:
+            self._open.setdefault(group.group_id, [])[:0] = sends
+        return len(sends)
+
     def release(self, ckpt_id: int) -> int:
         """Checkpoint committed: let its messages leave the machine."""
         now = self.kernel.clock.now()

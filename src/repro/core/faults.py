@@ -23,6 +23,23 @@ Four fault kinds:
   write completes normally (the scrubber's prey).
 * ``nospace`` — the device reports ``ENOSPC`` for this command.
 
+Two *retryable* kinds model transient trouble — the device (or link)
+fails but a retry may succeed, which is what the
+:mod:`~repro.core.resilience` policy layer exists for:
+
+* ``transient`` — the command at a given IO (or read) index fails
+  ``times`` times with :class:`~repro.errors.TransientDeviceError`,
+  then succeeds.  The index does *not* advance on a transient failure
+  (the command never reached the queue), so a retry deterministically
+  re-hits the same registration until it is exhausted.
+* ``intermittent`` — every write attempt independently fails with
+  probability ``p`` drawn from the plan's seeded RNG (optionally
+  capped at ``limit`` total failures); identical seeds replay the
+  identical failure sequence.
+
+``flaky_link`` does the same for the replication link: the next
+``times`` ship attempts raise :class:`~repro.errors.LinkDown`.
+
 Everything a plan does is a pure function of its registrations, so a
 seeded plan (:meth:`FaultPlan.random`) reproduces exactly.
 """
@@ -32,7 +49,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import NoSpace, ReproError
+from ..errors import LinkDown, NoSpace, ReproError, TransientDeviceError
 from . import events as sls_events
 
 #: Fault kinds.
@@ -40,6 +57,9 @@ CRASH = "crash"
 TORN = "torn"
 BITFLIP = "bitflip"
 NOSPACE = "nospace"
+TRANSIENT = "transient"
+INTERMITTENT = "intermittent"
+LINKFLAP = "linkflap"
 
 #: Stage-boundary edges.
 BEFORE = "before"
@@ -62,17 +82,20 @@ class InjectedCrash(InjectedFault):
 class FaultEvent:
     """One fault that fired (the plan's audit trail)."""
 
-    __slots__ = ("kind", "io_index", "stage", "edge", "offset")
+    __slots__ = ("kind", "io_index", "stage", "edge", "offset", "op")
 
     def __init__(self, kind: str, io_index: int,
                  stage: Optional[str] = None, edge: Optional[str] = None,
-                 offset: Optional[int] = None):
+                 offset: Optional[int] = None, op: Optional[str] = None):
         self.kind = kind
         #: Number of device writes fully submitted when the fault fired.
         self.io_index = io_index
         self.stage = stage
         self.edge = edge
         self.offset = offset
+        #: Which operation the fault hit: "write" (default), "read",
+        #: or "link".
+        self.op = op
 
     def __repr__(self) -> str:
         where = (f"stage={self.stage}/{self.edge}" if self.stage
@@ -99,10 +122,24 @@ class FaultPlan:
         #: Next IO index == number of writes fully submitted so far.
         self.io_index = 0
         self.io_log: List[int] = []
+        #: Next read index == number of reads fully served so far.
+        self.read_index = 0
         self.boundaries_seen: List[Tuple[str, str]] = []
         self.events: List[FaultEvent] = []
         self._io_faults: Dict[int, str] = {}
         self._stage_faults: Dict[Tuple[str, str], str] = {}
+        #: Registered transient counts (immutable — what ``describe``
+        #: reports) and mutable remaining counters consumed as fires.
+        self._transient_writes: Dict[int, int] = {}
+        self._transient_writes_left: Dict[int, int] = {}
+        self._transient_reads: Dict[int, int] = {}
+        self._transient_reads_left: Dict[int, int] = {}
+        self._intermittent_p = 0.0
+        self._intermittent_limit: Optional[int] = None
+        self._intermittent_fired = 0
+        self._intermittent_rng: Optional[random.Random] = None
+        self._link_flaps = 0
+        self._link_flaps_left = 0
 
     # -- registration ------------------------------------------------------
 
@@ -133,6 +170,46 @@ class FaultPlan:
         self._stage_faults[(stage, edge)] = CRASH
         return self
 
+    def transient_at_io(self, index: int, times: int = 1) -> "FaultPlan":
+        """Write ``index`` fails retryably ``times`` times, then lands."""
+        if times < 1:
+            raise ValueError("transient fault needs times >= 1")
+        self._transient_writes[index] = times
+        self._transient_writes_left[index] = times
+        return self
+
+    def transient_at_read(self, index: int, times: int = 1) -> "FaultPlan":
+        """Read ``index`` fails retryably ``times`` times, then serves."""
+        if times < 1:
+            raise ValueError("transient fault needs times >= 1")
+        self._transient_reads[index] = times
+        self._transient_reads_left[index] = times
+        return self
+
+    def intermittent(self, p: float,
+                     limit: Optional[int] = None) -> "FaultPlan":
+        """Each write attempt fails retryably with probability ``p``.
+
+        The draws come from a dedicated RNG seeded from the plan's
+        seed, so an identical seed replays the identical sequence of
+        failures.  ``limit`` caps the total number of fires.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"bad intermittent probability {p!r}")
+        self._intermittent_p = p
+        self._intermittent_limit = limit
+        self._intermittent_rng = random.Random(self.seed ^ 0xA5A5)
+        return self
+
+    def flaky_link(self, times: int = 1) -> "FaultPlan":
+        """The next ``times`` replication ship attempts find the link
+        down (:class:`~repro.errors.LinkDown`)."""
+        if times < 1:
+            raise ValueError("link flap needs times >= 1")
+        self._link_flaps = times
+        self._link_flaps_left = times
+        return self
+
     @classmethod
     def random(cls, seed: int, io_count: int,
                boundaries: Optional[List[Tuple[str, str]]] = None
@@ -144,36 +221,62 @@ class FaultPlan:
         """
         rng = random.Random(seed)
         plan = cls(name=f"random-{seed}", seed=seed)
-        kinds = [CRASH, TORN, BITFLIP, NOSPACE]
+        kinds = [CRASH, TORN, BITFLIP, NOSPACE,
+                 TRANSIENT, TRANSIENT, INTERMITTENT]
         if boundaries and rng.random() < 0.25:
             stage, edge = boundaries[rng.randrange(len(boundaries))]
             plan.crash_at_stage(stage, edge)
+            return plan
+        index = rng.randrange(max(io_count, 1))
+        kind = kinds[rng.randrange(len(kinds))]
+        if kind == TRANSIENT:
+            plan.transient_at_io(index, times=1 + rng.randrange(3))
+        elif kind == INTERMITTENT:
+            plan.intermittent(p=0.05 + 0.15 * rng.random(), limit=4)
         else:
-            index = rng.randrange(max(io_count, 1))
-            plan._io_faults[index] = kinds[rng.randrange(len(kinds))]
+            plan._io_faults[index] = kind
         return plan
 
     def describe(self) -> str:
-        """Human-readable registration summary (stable across runs)."""
-        parts = [f"io{idx}:{kind}"
-                 for idx, kind in sorted(self._io_faults.items())]
+        """Human-readable registration summary (stable across runs).
+
+        Transient counts report the *registered* fail budget, not the
+        mutable remainder, so the description is identical before and
+        after a run — the reproducibility tests compare exactly that.
+        """
+        io_parts = {idx: f"io{idx}:{kind}"
+                    for idx, kind in self._io_faults.items()}
+        for idx, times in self._transient_writes.items():
+            io_parts[idx] = f"io{idx}:{TRANSIENT}(x{times})"
+        parts = [io_parts[idx] for idx in sorted(io_parts)]
+        parts += [f"read{idx}:{TRANSIENT}(x{times})"
+                  for idx, times in sorted(self._transient_reads.items())]
         parts += [f"{stage}/{edge}:{kind}"
                   for (stage, edge), kind
                   in sorted(self._stage_faults.items())]
+        if self._intermittent_p > 0.0:
+            limit = ("" if self._intermittent_limit is None
+                     else f",limit={self._intermittent_limit}")
+            parts.append(f"{INTERMITTENT}(p={self._intermittent_p:.4f}"
+                         f"{limit})")
+        if self._link_flaps:
+            parts.append(f"link:flap(x{self._link_flaps})")
         return ",".join(parts) or "observe"
 
     # -- hooks (called by the device array and the pipeline) ---------------
 
     def _fire(self, kind: str, stage: Optional[str] = None,
               edge: Optional[str] = None,
-              offset: Optional[int] = None) -> FaultEvent:
+              offset: Optional[int] = None,
+              op: Optional[str] = None) -> FaultEvent:
         event = FaultEvent(kind, self.io_index, stage=stage, edge=edge,
-                           offset=offset)
+                           offset=offset, op=op)
         self.events.append(event)
         if self.clock is not None:
             sls_events.emit(self.clock.now(), sls_events.FAULT_INJECTED,
                             fault=kind, io_index=self.io_index,
-                            stage=stage, edge=edge, offset=offset)
+                            stage=stage, edge=edge, offset=offset,
+                            op=op)
         return event
 
     def on_io(self, offset: int, payload, sync: bool):
@@ -182,10 +285,30 @@ class FaultPlan:
         Returns ``(verb, payload)`` where verb is ``"ok"`` (queue the
         returned payload normally) or ``"torn"`` (force the returned
         truncated payload durable, then the array raises the crash).
-        May raise :class:`InjectedCrash` or
-        :class:`~repro.errors.NoSpace` instead.
+        May raise :class:`InjectedCrash`,
+        :class:`~repro.errors.NoSpace`, or — for the retryable kinds —
+        :class:`~repro.errors.TransientDeviceError`.  Retryable
+        failures do *not* advance the IO index: the command never
+        reached the queue, so a retry re-hits the same index.
         """
         index = self.io_index
+        left = self._transient_writes_left.get(index, 0)
+        if left > 0:
+            self._transient_writes_left[index] = left - 1
+            self._fire(TRANSIENT, offset=offset, op="write")
+            raise TransientDeviceError(
+                f"injected transient write error at IO {index} "
+                f"(offset {offset}, {left - 1} more)")
+        rng = self._intermittent_rng
+        if (rng is not None and self._intermittent_p > 0.0
+                and (self._intermittent_limit is None
+                     or self._intermittent_fired < self._intermittent_limit)
+                and rng.random() < self._intermittent_p):
+            self._intermittent_fired += 1
+            self._fire(INTERMITTENT, offset=offset, op="write")
+            raise TransientDeviceError(
+                f"injected intermittent write error at IO {index} "
+                f"(offset {offset})")
         kind = self._io_faults.get(index)
         if kind == CRASH:
             self._fire(CRASH, offset=offset)
@@ -204,6 +327,31 @@ class FaultPlan:
             self._fire(TORN, offset=offset)
             return "torn", _tear_payload(payload)
         return "ok", payload
+
+    def on_read(self, offset: int) -> None:
+        """Called by the device array before each read is served.
+
+        Raises :class:`~repro.errors.TransientDeviceError` while the
+        registration at the current read index has fails left; the
+        read index only advances once the read actually serves.
+        """
+        index = self.read_index
+        left = self._transient_reads_left.get(index, 0)
+        if left > 0:
+            self._transient_reads_left[index] = left - 1
+            self._fire(TRANSIENT, offset=offset, op="read")
+            raise TransientDeviceError(
+                f"injected transient read error at read {index} "
+                f"(offset {offset}, {left - 1} more)")
+        self.read_index += 1
+
+    def on_link(self) -> None:
+        """Called by the replication link before each ship attempt."""
+        if self._link_flaps_left > 0:
+            self._link_flaps_left -= 1
+            self._fire(LINKFLAP, op="link")
+            raise LinkDown(
+                f"injected link flap ({self._link_flaps_left} more)")
 
     def on_stage(self, stage: str, edge: str) -> None:
         """Called by the checkpoint pipeline at each stage boundary."""

@@ -17,6 +17,7 @@ from ..kernel.proc.pid import IDVirtualization
 from ..kernel.proc.process import Process
 from ..units import MSEC
 from . import telemetry
+from .resilience import GroupHealth
 
 
 class ObjectTrack:
@@ -82,6 +83,13 @@ class ConsistencyGroup:
         #: waits for it before initiating another checkpoint (§7).
         self.flush_in_progress = False
         self.suspended = False
+        #: Degraded-mode state machine (orchestrator-driven).
+        self.health = GroupHealth()
+        #: Set when a checkpoint rolled back: the next disk checkpoint
+        #: must be full, because the aborted checkpoint's dirty pages
+        #: were collapsed back into the in-memory chain and an
+        #: incremental capture would miss them.
+        self.force_full_next = False
         #: Aggregate statistics for benchmarks — a view over telemetry
         #: counters, so the numbers are also queryable per group from
         #: the registry (``sls stat``).

@@ -23,13 +23,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..errors import InvalidArgument, NoSuchCheckpoint, NotAttached, SLSError
+from ..errors import (InvalidArgument, MachineCrashed, NoSpace,
+                      NoSuchCheckpoint, NotAttached, RetriesExhausted,
+                      SLSError, StoreFull)
 from ..kernel.fs.vfs import VFS
 from ..objstore.oid import CLASS_GROUP, oid_serial
 from ..objstore.store import ObjectStore
 from ..slsfs.slsfs import SLSFS
-from . import events, slo, telemetry, tracing
+from . import events, resilience, slo, telemetry, tracing
 from .extsync import ExternalSynchrony
+from .faults import InjectedCrash
 from .group import ConsistencyGroup
 from .pipeline import (MODE_DISK, MODE_MEM, CheckpointContext,
                        CheckpointPipeline, CheckpointResult)
@@ -119,12 +122,118 @@ class Orchestrator:
             if not group.attached or group.suspended:
                 return
             if not group.flush_in_progress:
-                self.checkpoint(group)
+                self._periodic_checkpoint(group)
             # A flush overrunning the period delays the next
-            # checkpoint rather than piling up (§7).
-            group.timer = self.machine.loop.call_after(group.period_ns, tick)
+            # checkpoint rather than piling up (§7); degraded mode
+            # may widen the period further.
+            group.timer = self.machine.loop.call_after(
+                self._effective_period(group), tick)
 
-        group.timer = self.machine.loop.call_after(group.period_ns, tick)
+        group.timer = self.machine.loop.call_after(
+            self._effective_period(group), tick)
+
+    def _effective_period(self, group: ConsistencyGroup) -> int:
+        """The group's checkpoint period, widened while degraded for
+        repeated device errors (back off a sick device instead of
+        hammering it at 100 Hz)."""
+        health = group.health
+        if health.degraded and health.reason == resilience.REASON_DEVICE:
+            return group.period_ns * resilience.WIDEN_FACTOR
+        return group.period_ns
+
+    def _periodic_checkpoint(self, group: ConsistencyGroup) -> None:
+        """One periodic tick: checkpoint, absorbing storage failures
+        into the degraded-mode state machine instead of unwinding into
+        the event loop.  Injected power failures still propagate — a
+        dying host does not degrade gracefully."""
+        health = group.health
+        if health.degraded:
+            self._degraded_tick(group)
+            return
+        try:
+            self.checkpoint(group)
+            health.consecutive_failures = 0
+        except (StoreFull, NoSpace) as exc:
+            self._enter_degraded(group, resilience.REASON_ENOSPC, exc)
+            self._emergency_gc(group)
+            # Keep the 100 Hz cadence alive with a memory-only
+            # checkpoint: bounded stop times, no store writes.
+            self.checkpoint(group, mode=MODE_MEM)
+        except RetriesExhausted as exc:
+            health.consecutive_failures += 1
+            if (health.consecutive_failures
+                    >= resilience.DEVICE_FAILURE_THRESHOLD):
+                self._enter_degraded(group, resilience.REASON_DEVICE, exc)
+
+    def _degraded_tick(self, group: ConsistencyGroup) -> None:
+        health = group.health
+        health.ticks += 1
+        if health.reason == resilience.REASON_ENOSPC:
+            # Memory-only checkpoints with a periodic disk probe; the
+            # probe is full so everything captured only in memory
+            # since degrading becomes durable the moment space allows.
+            if health.ticks % resilience.PROBE_EVERY == 0:
+                try:
+                    self.checkpoint(group, name="probe", full=True,
+                                    sync=True)
+                    self._exit_degraded(group)
+                    return
+                except (StoreFull, NoSpace, RetriesExhausted):
+                    self._emergency_gc(group)
+            self.checkpoint(group, mode=MODE_MEM)
+            return
+        # Device trouble: the widened-interval tick *is* the probe.
+        try:
+            self.checkpoint(group, name="probe", full=True, sync=True)
+            self._exit_degraded(group)
+        except RetriesExhausted:
+            health.consecutive_failures += 1
+        except (StoreFull, NoSpace) as exc:
+            self._enter_degraded(group, resilience.REASON_ENOSPC, exc)
+            self._emergency_gc(group)
+
+    def _enter_degraded(self, group: ConsistencyGroup, reason: str,
+                        error: Optional[Exception] = None) -> None:
+        health = group.health
+        now = self.kernel.clock.now()
+        if health.degraded:
+            health.enter(reason, now)  # reason may change; spell continues
+            return
+        health.enter(reason, now)
+        events.emit(now, events.DEGRADED_ENTER, group=group.group_id,
+                    reason=reason,
+                    error=(f"{type(error).__name__}: {error}"
+                           if error is not None else None))
+        self.telemetry.counter("sls.degraded.entries",
+                               group=group.group_id, reason=reason).add(1)
+        self.slo.on_degraded_enter(group.group_id, now)
+
+    def _exit_degraded(self, group: ConsistencyGroup) -> None:
+        health = group.health
+        if not health.degraded:
+            return
+        now = self.kernel.clock.now()
+        reason = health.reason
+        spell = health.exit(now)
+        events.emit(now, events.DEGRADED_EXIT, group=group.group_id,
+                    reason=reason, spell_ns=spell)
+        self.slo.on_degraded_exit(group.group_id, now)
+
+    def _emergency_gc(self, group: ConsistencyGroup) -> int:
+        """ENOSPC pressure valve: merge away the older half of the
+        group's history (WAFL-style deletes free COW blocks)."""
+        chain = self.store.checkpoints_for(group.group_id,
+                                           include_partial=True)
+        if not chain:
+            return 0
+        keep = max(1, len(chain) // 2)
+        reclaimed = self.store.retain_last(group.group_id, keep)
+        events.emit(self.kernel.clock.now(), events.GC_EMERGENCY,
+                    group=group.group_id, reclaimed_bytes=reclaimed,
+                    kept=keep)
+        self.telemetry.counter("sls.gc.emergency_bytes",
+                               group=group.group_id).add(reclaimed)
+        return reclaimed
 
     # -- the checkpoint pipeline --------------------------------------------------------------
 
@@ -143,6 +252,10 @@ class Orchestrator:
             if not sync:
                 raise SLSError("previous checkpoint still flushing")
             self._await_flush(group)
+        if mode == MODE_DISK and group.force_full_next:
+            # A rolled-back checkpoint collapsed its dirty pages back
+            # into the in-memory chain; only a full capture sees them.
+            full = True
         ctx = CheckpointContext(self, group, name=name, full=full,
                                 sync=sync, mode=mode)
         clock = self.kernel.clock
@@ -156,11 +269,18 @@ class Orchestrator:
                 events.emit(clock.now(), events.CKPT_FAIL,
                             group=group.group_id,
                             error=f"{type(exc).__name__}: {exc}")
+                if not isinstance(exc, (InjectedCrash, MachineCrashed)):
+                    # A storage failure, not a power failure: roll the
+                    # group back to a clean pre-checkpoint state.
+                    self.rollback_failed_checkpoint(
+                        group, getattr(ctx, "txn", None))
                 raise
             if mode == MODE_MEM and trace_obj is not None:
                 # Nothing flushes: the pipeline's end is the mem-mode
                 # checkpoint's terminal point.
                 trace_obj.complete = True
+        if mode == MODE_DISK:
+            group.force_full_next = False
         self.slo.on_stop_time(group.group_id, result.stop_ns)
 
         group.stats["checkpoints"] += 1
@@ -171,6 +291,64 @@ class Orchestrator:
             group.stats["pages_flushed"] += result.pages_flushed
             group.stats["bytes_flushed"] += ctx.info.data_bytes
         return result
+
+    #: Sentinel: "leave the group's epoch floor untouched".
+    _KEEP_EPOCH = object()
+
+    def rollback_failed_checkpoint(self, group: ConsistencyGroup, txn,
+                                   prev_epoch=_KEEP_EPOCH,
+                                   error: Optional[Exception] = None) -> None:
+        """Unwind group state after a checkpoint failed without a
+        crash.
+
+        The store-level abort (freeing the transaction's blocks) has
+        either already run or runs here; this method restores the
+        *group* invariants so the next checkpoint can proceed: the
+        flush gate reopens, sealed external output returns to the open
+        buffer, the frozen shadows become collapsible (their content
+        is still in memory — durability stays at the previous
+        checkpoint), and the next disk checkpoint is forced full so
+        the rolled-back dirty pages are not lost to incremental
+        capture.  ``error`` is set on the async-flush path, where this
+        method is also the failure notification that feeds the
+        degraded-mode counters.
+        """
+        info = getattr(txn, "info", None)
+        if info is not None:
+            # MemTxn lacks commit/abort state: only real store
+            # transactions have blocks to release.
+            if (getattr(txn, "committed", False)
+                    and not getattr(txn, "aborted", True)
+                    and not getattr(info, "complete", False)):
+                self.store.abort_checkpoint(txn)
+            self.extsync.unseal(group, info.ckpt_id)
+        group.flush_in_progress = False
+        self.shadow.mark_flushed(group)
+        group.force_full_next = True
+        # The pipeline advanced last_ckpt_id at submit time; the
+        # checkpoint never became durable, so the next one must parent
+        # onto the last *complete* checkpoint, not the aborted id.
+        group.last_ckpt_id = group.last_complete_id
+        if prev_epoch is not self._KEEP_EPOCH:
+            # The async path had already advanced the incremental
+            # floor on submission; the data never became durable, so
+            # the floor must come back down.
+            group.ckpt_epoch = prev_epoch
+        if error is None:
+            return
+        clock = self.kernel.clock
+        events.emit(clock.now(), events.CKPT_FAIL, group=group.group_id,
+                    error=f"{type(error).__name__}: {error}", async_flush=True)
+        health = group.health
+        if isinstance(error, (StoreFull, NoSpace)):
+            self._enter_degraded(group, resilience.REASON_ENOSPC, error)
+            self._emergency_gc(group)
+        elif isinstance(error, RetriesExhausted):
+            health.consecutive_failures += 1
+            if (health.consecutive_failures
+                    >= resilience.DEVICE_FAILURE_THRESHOLD):
+                self._enter_degraded(group, resilience.REASON_DEVICE,
+                                     error)
 
     def _await_flush(self, group: ConsistencyGroup) -> None:
         """Run the event loop just far enough for *this group's*

@@ -310,8 +310,20 @@ class Flush(Stage):
                     objects.extend(track.active.chain())
                 kernel.pageout.run_pageout(objects, store=store)
 
+        prev_epoch = group.ckpt_epoch
+        txn = ctx.txn
+
+        def on_failure(exc):
+            # An async flush died after submission (retries exhausted
+            # during finalize): the store already aborted the txn; the
+            # orchestrator unwinds the group-level state.
+            ctx.sls.rollback_failed_checkpoint(group, txn,
+                                               prev_epoch=prev_epoch,
+                                               error=exc)
+
         ctx.info = store.commit(ctx.txn, sync=ctx.sync,
-                                on_complete=on_complete)
+                                on_complete=on_complete,
+                                on_failure=on_failure)
         group.last_ckpt_id = ctx.info.ckpt_id
         if ctx.new_epoch_floor is not None:
             # The commit was accepted (no ENOSPC / injected fault on

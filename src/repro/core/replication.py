@@ -9,38 +9,59 @@ across the NIC, and applied to the standby's object store.  When the
 primary dies, :meth:`failover` restores the newest replicated
 checkpoint on the standby — bounded loss of at most one checkpoint
 period plus replication lag.
+
+Link flaps are survivable: each ship attempt consults the primary's
+fault plan (:meth:`~repro.core.faults.FaultPlan.on_link`) and retries
+:class:`~repro.errors.LinkDown` with the standard backoff policy.  An
+outage that outlasts the retries marks the link *down* (``sls
+events``: ``replication.link_down``) and shipping quietly resumes on
+the next pump; :meth:`failover` during an outage is only allowed once
+the outage has exceeded the failover deadline — flapping links must
+not trigger split-brain-style premature failovers.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from ..errors import SLSError
-from . import migration
+from ..errors import RetriesExhausted, SLSError
+from ..units import MSEC
+from . import events, migration, telemetry
+from .resilience import RetryPolicy
+
+#: An outage must last this long before failover is permitted.
+DEFAULT_FAILOVER_DEADLINE_NS = 100 * MSEC
 
 
 class ReplicationLink:
     """One group continuously replicated from a primary to a standby."""
 
-    def __init__(self, src_sls, dst_sls, group):
+    def __init__(self, src_sls, dst_sls, group,
+                 failover_deadline_ns: int = DEFAULT_FAILOVER_DEADLINE_NS):
         self.src_sls = src_sls
         self.dst_sls = dst_sls
         self.group = group
         self.last_shipped: Optional[int] = None
-        self.stats = {"streams": 0, "bytes": 0, "full_syncs": 0}
+        self.stats = {"streams": 0, "bytes": 0, "full_syncs": 0,
+                      "outages": 0}
         self._installed = False
+        self.failover_deadline_ns = failover_deadline_ns
+        #: Sim-instant the current outage began (None = link healthy).
+        self.down_since: Optional[int] = None
+        self.retry = RetryPolicy(src_sls.machine.clock,
+                                 seed=0x11A6 ^ group.group_id,
+                                 op="replication.ship")
 
     # -- shipping -----------------------------------------------------------------
 
-    def ship(self) -> Optional[int]:
-        """Ship everything committed since the last shipment.
+    def _clock(self):
+        return self.src_sls.machine.clock
 
-        Returns the checkpoint id now current on the standby, or None
-        when there is nothing new.
-        """
-        newest = self.group.last_complete_id
-        if newest is None or newest == self.last_shipped:
-            return None
+    def _ship_once(self, newest: int) -> None:
+        """One connect + send attempt (the retry policy's unit)."""
+        plan = getattr(self.src_sls.machine, "fault_plan", None)
+        if plan is not None:
+            plan.on_link()
         if self.last_shipped is None:
             stream = migration.send_checkpoint(self.src_sls,
                                                self.group.group_id,
@@ -54,6 +75,36 @@ class ReplicationLink:
         migration.recv_checkpoint(self.dst_sls, stream)
         self.stats["streams"] += 1
         self.stats["bytes"] += len(stream)
+
+    def ship(self) -> Optional[int]:
+        """Ship everything committed since the last shipment.
+
+        Returns the checkpoint id now current on the standby, or None
+        when there is nothing new — or when the link is down and the
+        retries did not outlast the flap (the next pump tries again).
+        """
+        newest = self.group.last_complete_id
+        if newest is None or newest == self.last_shipped:
+            return None
+        now = self._clock().now()
+        try:
+            self.retry.run(lambda: self._ship_once(newest))
+        except RetriesExhausted as exc:
+            if self.down_since is None:
+                self.down_since = now
+                self.stats["outages"] += 1
+                events.emit(self._clock().now(), events.LINK_DOWN,
+                            group=self.group.group_id,
+                            error=f"{type(exc).__name__}: {exc}")
+                telemetry.registry().counter(
+                    "sls.replication.outages",
+                    group=self.group.group_id).add(1)
+            return None
+        if self.down_since is not None:
+            events.emit(self._clock().now(), events.LINK_UP,
+                        group=self.group.group_id,
+                        outage_ns=self._clock().now() - self.down_since)
+            self.down_since = None
         self.last_shipped = newest
         return newest
 
@@ -92,12 +143,34 @@ class ReplicationLink:
 
     # -- failover -------------------------------------------------------------------
 
-    def failover(self, lazy: bool = False):
+    def outage_ns(self) -> int:
+        """How long the current outage has lasted (0 when healthy)."""
+        if self.down_since is None:
+            return 0
+        return self._clock().now() - self.down_since
+
+    def failover(self, lazy: bool = False, force: bool = False):
         """The primary is gone: resume the application on the standby
-        from the newest replicated checkpoint."""
+        from the newest replicated checkpoint.
+
+        During a link outage, failover is refused until the outage has
+        exceeded the failover deadline — a flapping link should
+        reconnect with backoff, not promote the standby.  ``force``
+        overrides (operator knows the primary is really dead).
+        """
         if self.last_shipped is None:
             raise SLSError("nothing was ever replicated")
+        outage = self.outage_ns()
+        if (self.down_since is not None and not force
+                and outage < self.failover_deadline_ns):
+            raise SLSError(
+                f"link down only {outage}ns (< deadline "
+                f"{self.failover_deadline_ns}ns): keep retrying before "
+                f"failing over")
         self.stop()
+        events.emit(self._clock().now(), events.FAILOVER,
+                    group=self.group.group_id, ckpt=self.last_shipped,
+                    outage_ns=outage)
         return self.dst_sls.restore(self.group.group_id,
                                     ckpt_id=self.last_shipped,
                                     lazy=lazy)

@@ -97,7 +97,10 @@ class GroupRestorer:
         with registry.span(clock, "restore.read", ckpt=ckpt_id):
             record_extents, page_locs = self.store.merged_view(ckpt_id)
             io_start = clock.now()
-            decoded = self.store.read_object_records(record_extents)
+            decoded = self.store.read_object_records(
+                record_extents,
+                fallbacks=self.store.record_fallbacks(ckpt_id,
+                                                      record_extents))
             self.io_ns += clock.now() - io_start
 
         descriptor = None

@@ -37,6 +37,10 @@ from . import telemetry, tracing
 #: paper's sub-millisecond stop time.
 DEFAULT_RPO_NS = 10 * MSEC
 DEFAULT_STOP_NS = 1 * MSEC
+#: Degraded-mode time budget: cumulative time a group may spend in
+#: degraded mode (memory-only checkpoints / widened interval) before
+#: it counts as an SLO violation — five normal checkpoint periods.
+DEFAULT_DEGRADED_NS = 50 * MSEC
 
 #: Exact samples kept per series (oldest dropped beyond this).
 SAMPLE_CAPACITY = 65536
@@ -54,15 +58,18 @@ def percentile_exact(values: List[int], p: float) -> int:
 class SLOTargets:
     """Configurable budgets."""
 
-    __slots__ = ("rpo_ns", "stop_ns")
+    __slots__ = ("rpo_ns", "stop_ns", "degraded_ns")
 
     def __init__(self, rpo_ns: int = DEFAULT_RPO_NS,
-                 stop_ns: int = DEFAULT_STOP_NS):
+                 stop_ns: int = DEFAULT_STOP_NS,
+                 degraded_ns: int = DEFAULT_DEGRADED_NS):
         self.rpo_ns = rpo_ns
         self.stop_ns = stop_ns
+        self.degraded_ns = degraded_ns
 
     def __repr__(self) -> str:
-        return f"SLOTargets(rpo={self.rpo_ns}ns, stop={self.stop_ns}ns)"
+        return (f"SLOTargets(rpo={self.rpo_ns}ns, stop={self.stop_ns}ns, "
+                f"degraded={self.degraded_ns}ns)")
 
 
 class _Series:
@@ -102,6 +109,11 @@ class _GroupSLO:
         #: Capture instant of the newest durable checkpoint.
         self.last_durable_capture: Optional[int] = None
         self.commits = 0
+        #: Degraded-mode spells: per-spell lengths, cumulative total,
+        #: and the start of the still-open spell (if any).
+        self.degraded = _Series()
+        self.degraded_total_ns = 0
+        self.degraded_since: Optional[int] = None
 
 
 class SLOTracker:
@@ -153,6 +165,36 @@ class SLOTracker:
         if lag > self.targets.rpo_ns:
             self._violate(group_id, "rpo")
 
+    def on_degraded_enter(self, group_id: int, now_ns: int) -> None:
+        """The group entered degraded mode; the spell clock starts."""
+        state = self._group(group_id)
+        if state.degraded_since is None:
+            state.degraded_since = now_ns
+
+    def on_degraded_exit(self, group_id: int, now_ns: int) -> None:
+        """Probe succeeded: close the spell and charge the budget."""
+        state = self._group(group_id)
+        if state.degraded_since is None:
+            return
+        spell = now_ns - state.degraded_since
+        state.degraded_since = None
+        state.degraded.add(spell)
+        was_over = (state.degraded_total_ns - spell
+                    > self.targets.degraded_ns)
+        state.degraded_total_ns += spell
+        if state.degraded_total_ns > self.targets.degraded_ns \
+                and not was_over:
+            self._violate(group_id, "degraded")
+
+    def degraded_time_ns(self, group_id: int,
+                         now_ns: Optional[int] = None) -> int:
+        """Cumulative degraded time, including any open spell."""
+        state = self._group(group_id)
+        total = state.degraded_total_ns
+        if state.degraded_since is not None and now_ns is not None:
+            total += now_ns - state.degraded_since
+        return total
+
     # -- reporting ---------------------------------------------------------------
 
     def violations(self, group_id: int, budget: str) -> int:
@@ -176,6 +218,11 @@ class SLOTracker:
                 "stop_target_ns": self.targets.stop_ns,
                 "rpo_violations": self.violations(gid, "rpo"),
                 "stop_violations": self.violations(gid, "stop"),
+                "degraded_spells": len(state.degraded.values),
+                "degraded_total_ns": state.degraded_total_ns,
+                "degraded_open": state.degraded_since is not None,
+                "degraded_target_ns": self.targets.degraded_ns,
+                "degraded_violations": self.violations(gid, "degraded"),
             })
         return rows
 

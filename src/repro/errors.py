@@ -170,5 +170,31 @@ class DeviceFull(HardwareError):
     """Write past the end of a simulated device."""
 
 
+class TransientDeviceError(HardwareError):
+    """A device command failed in a way that may succeed on retry.
+
+    Raised by the fault layer for *transient* and *intermittent*
+    faults; :mod:`repro.core.resilience` retries these with backoff.
+    Everything else a device raises is considered fatal.
+    """
+
+
+class LinkDown(HardwareError):
+    """A replication link flapped; reconnecting may succeed."""
+
+
+class RetriesExhausted(HardwareError):
+    """A retry policy gave up: attempts or deadline exceeded.
+
+    ``last_error`` carries the final transient failure so callers can
+    distinguish device trouble from link trouble.
+    """
+
+    def __init__(self, message: str = "",
+                 last_error: "Exception | None" = None):
+        super().__init__(message)
+        self.last_error = last_error
+
+
 class MachineCrashed(ReproError):
     """Raised when code touches a kernel that has been crashed."""

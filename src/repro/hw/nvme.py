@@ -206,6 +206,20 @@ class NVMeDevice:
         """
         self._extents[offset] = payload
 
+    def cancel_inflight_at(self, offset: int) -> int:
+        """Drop queued writes targeting ``offset`` before they land.
+
+        An aborted checkpoint frees its extents while some of its
+        writes may still sit in the device queue; cancelling them
+        keeps a later reuse of the blocks from being clobbered by a
+        stale write completing afterwards.  Returns writes dropped.
+        """
+        self.poll()
+        before = len(self._inflight)
+        self._inflight = [entry for entry in self._inflight
+                          if entry[1] != offset]
+        return before - len(self._inflight)
+
     # -- crash behaviour -------------------------------------------------------
 
     def discard_inflight(self) -> int:
@@ -292,11 +306,15 @@ class StripedArray:
     def read(self, offset: int) -> Payload:
         """Read back the extent previously written at ``offset``."""
         device, local = self._device_for(offset)
+        if self.fault_plan is not None:
+            self.fault_plan.on_read(offset)
         return device.read(local)
 
     def read_async(self, offset: int):
         """Queue a read on the owning device (striped dispatch)."""
         device, local = self._device_for(offset)
+        if self.fault_plan is not None:
+            self.fault_plan.on_read(offset)
         return device.read_async(local)
 
     def has_extent(self, offset: int) -> bool:
@@ -308,6 +326,11 @@ class StripedArray:
         """Drop an extent (GC reclaimed its blocks)."""
         device, local = self._device_for(offset)
         device.discard_extent(local)
+
+    def cancel_extent(self, offset: int) -> int:
+        """Cancel queued writes to ``offset`` (checkpoint abort)."""
+        device, local = self._device_for(offset)
+        return device.cancel_inflight_at(local)
 
     def poll(self) -> None:
         """Apply every queued write whose completion time passed."""

@@ -52,7 +52,9 @@ class Journal:
         payload = records.encode(records.REC_JOURNAL, {
             "jid": self.jid, "epoch": self.epoch, "header": True,
         })
-        self.store.device.write(self.base, payload, sync=True)
+        self.store.retry.run(
+            lambda: self.store.device.write(self.base, payload, sync=True),
+            op="journal.header")
 
     def append(self, data: bytes) -> int:
         """Synchronously append ``data``; returns the record's slot.
@@ -73,8 +75,10 @@ class Journal:
             raise NoSpace(f"journal {self.jid} full")
         first_slot = self.head_slot
         start = self.store.clock.now()
-        self.store.device.write(self._slot_offset(first_slot), payload,
-                                sync=True)
+        self.store.retry.run(
+            lambda: self.store.device.write(self._slot_offset(first_slot),
+                                            payload, sync=True),
+            op="journal.append")
         self._observe_append(start, len(payload))
         self.head_slot += nslots
         self.appends += 1
@@ -105,8 +109,11 @@ class Journal:
             raise NoSpace(f"journal {self.jid} full")
         first_slot = self.head_slot
         start = self.store.clock.now()
-        self.store.device.write(self._slot_offset(first_slot),
-                                synthetic_payload(seed, framed), sync=True)
+        self.store.retry.run(
+            lambda: self.store.device.write(self._slot_offset(first_slot),
+                                            synthetic_payload(seed, framed),
+                                            sync=True),
+            op="journal.append")
         self._observe_append(start, framed)
         self.head_slot += nslots
         self.appends += 1

@@ -115,21 +115,28 @@ class ScrubReport:
                 f"{self.page_extents_verified} page extents)")
 
 
-def _read_superblocks(device: Any) -> List[Tuple[int, Optional[dict]]]:
-    """(slot, decoded-or-None) for both superblock slots."""
+def _read_superblocks(device: Any
+                      ) -> List[Tuple[int, Optional[dict], bool]]:
+    """(slot, decoded-or-None, slot-holds-data) for both slots.
+
+    The third element distinguishes a slot that was simply never
+    written (young store: only one generation so far) from one that
+    holds bytes which no longer decode — only the latter is damage.
+    """
     from .store import SUPERBLOCK_SLOTS
 
     slots = []
     for slot in SUPERBLOCK_SLOTS:
         decoded = None
-        if device.has_extent(slot):
+        present = bool(device.has_extent(slot))
+        if present:
             try:
                 payload = device.read(slot)
                 if isinstance(payload, bytes):
                     decoded = records.decode(payload, records.REC_SUPERBLOCK)
             except (CorruptRecord, StoreError):
                 decoded = None
-        slots.append((slot, decoded))
+        slots.append((slot, decoded, present))
     return slots
 
 
@@ -335,10 +342,17 @@ def _scrub_walk(store: Any, sls: Optional[Any],
     device = store.device
 
     slots = _read_superblocks(device)
-    valid = [sb for _slot, sb in slots if sb is not None]
+    valid = [sb for _slot, sb, _present in slots if sb is not None]
     report.superblocks_valid = len(valid)
+    for slot, decoded, present in slots:
+        if present and decoded is None:
+            # Named per slot so ``sls scrub --repair`` can rewrite the
+            # damaged mirror from its valid twin.
+            report.add(SUPERBLOCK,
+                       f"superblock slot {slot} holds undecodable data")
     if not valid:
-        report.add(SUPERBLOCK, "no valid superblock in either slot")
+        if not report.findings:
+            report.add(SUPERBLOCK, "no valid superblock in either slot")
         return report
     superblock = max(valid, key=lambda sb: sb["generation"])
     report.generation = superblock["generation"]

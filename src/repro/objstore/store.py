@@ -22,8 +22,11 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..core import costs, events, telemetry, tracing
-from ..errors import (CorruptRecord, InvalidArgument, NoSuchCheckpoint,
-                      NoSuchObject, StoreError)
+from ..core.faults import InjectedCrash
+from ..core.resilience import RetryPolicy
+from ..errors import (CorruptRecord, InvalidArgument, MachineCrashed,
+                      NoSuchCheckpoint, NoSuchObject, ReproError,
+                      StoreError)
 from ..hw.memory import Page
 from ..hw.nvme import StripedArray, synthetic_payload
 from ..units import PAGE_SIZE, STRIPE_SIZE
@@ -48,6 +51,7 @@ class CheckpointTxn:
         self.staged_records: List[Tuple[int, bytes]] = []
         self.staged_pages: Dict[int, Dict[int, Page]] = {}
         self.committed = False
+        self.aborted = False
         #: The operation trace open when the transaction began; async
         #: commit finalization re-enters it so the metadata/superblock
         #: IOs are attributed to the checkpoint that issued them.
@@ -97,6 +101,12 @@ class ObjectStore:
         #: Targeted waits (sls_barrier) key on these instead of
         #: draining the whole event loop.
         self._pending_commits: Dict[int, Tuple[int, int]] = {}
+        #: Async-commit failure callbacks: ckpt_id -> callbacks(exc).
+        self._commit_failures: Dict[int, List[Callable[[Exception], None]]] = {}
+        #: Deterministic retry/backoff for every device command the
+        #: store issues; transient device errors never escape it short
+        #: of :class:`~repro.errors.RetriesExhausted`.
+        self.retry = RetryPolicy(self.clock, seed=0x51, op="store")
         self.stats = telemetry.StatsView(
             "sls.store", keys=("commits", "bytes_flushed", "recoveries",
                                "reclaimed_bytes"))
@@ -175,10 +185,14 @@ class ObjectStore:
                     return
                 payload = b"".join(page.realize() for _p, page in batch)
                 extent = self.alloc.alloc(len(payload))
-                self.clock.advance(costs.STORE_ALLOC_EXTENT)
-                done = self.device.submit_write(extent, payload)
-                last_done = max(last_done, done)
+                # Ownership is recorded before the submit so an abort
+                # after a failed write still frees this extent.
                 info.owned_extents.append((extent, len(payload)))
+                self.clock.advance(costs.STORE_ALLOC_EXTENT)
+                done = self.retry.run(
+                    lambda: self.device.submit_write(extent, payload),
+                    op="store.flush")
+                last_done = max(last_done, done)
                 info.data_bytes += len(payload)
                 for index, (pindex, _page) in enumerate(batch):
                     page_map[pindex] = PageLocator.in_extent(
@@ -201,11 +215,15 @@ class ObjectStore:
             while remaining > 0:
                 chunk = min(remaining, STRIPE_SIZE)
                 extent = self.alloc.alloc(chunk)
-                self.clock.advance(costs.STORE_ALLOC_EXTENT)
-                done = self.device.submit_write(
-                    extent, synthetic_payload(seed=oid, length=chunk))
-                last_done = max(last_done, done)
                 info.owned_extents.append((extent, chunk))
+                self.clock.advance(costs.STORE_ALLOC_EXTENT)
+                syn_extent, syn_chunk = extent, chunk
+                done = self.retry.run(
+                    lambda: self.device.submit_write(
+                        syn_extent,
+                        synthetic_payload(seed=oid, length=syn_chunk)),
+                    op="store.flush")
+                last_done = max(last_done, done)
                 info.data_bytes += chunk
                 remaining -= chunk
         return last_done
@@ -216,11 +234,14 @@ class ObjectStore:
         last_done = self.clock.now()
         for oid, payload in txn.staged_records:
             extent = self.alloc.alloc(len(payload))
+            info.owned_extents.append((extent, len(payload)))
             self.clock.advance(costs.STORE_ALLOC_EXTENT)
-            done = self.device.submit_write(extent, payload)
+            rec_extent, rec_payload = extent, payload
+            done = self.retry.run(
+                lambda: self.device.submit_write(rec_extent, rec_payload),
+                op="store.flush")
             last_done = max(last_done, done)
             info.object_records[oid] = (extent, len(payload))
-            info.owned_extents.append((extent, len(payload)))
         return last_done
 
     def _finalize_commit(self, txn: CheckpointTxn) -> None:
@@ -240,8 +261,43 @@ class ObjectStore:
 
     def _finalize_commit_inner(self, txn: CheckpointTxn) -> None:
         info = txn.info
-        # The flushed pages' content is now durable: stamp them clean
-        # so the pageout daemon can evict them without IO (§6).  A
+        payload = records.encode(records.REC_CKPT_META, info.encode_meta())
+        meta_extent = self.alloc.alloc(len(payload))
+        try:
+            self.retry.run(lambda: self.device.write(meta_extent, payload),
+                           op="store.meta")
+        except (InjectedCrash, MachineCrashed):
+            raise
+        except ReproError:
+            self.alloc.free(meta_extent, len(payload))
+            raise
+        info.meta_extent = (meta_extent, len(payload))
+        info.complete = True
+        self._pending_commits.pop(info.ckpt_id, None)
+        self.checkpoints[info.ckpt_id] = info
+        for offset, _length in info.owned_extents:
+            self.extent_refs[offset] = self.extent_refs.get(offset, 0) + 1
+        try:
+            self._write_catalog_and_superblock()
+        except (InjectedCrash, MachineCrashed):
+            raise
+        except ReproError:
+            # The flip never landed: the checkpoint must not look
+            # committed in memory when it is invisible on disk.
+            info.complete = False
+            info.meta_extent = None
+            del self.checkpoints[info.ckpt_id]
+            for offset, _length in info.owned_extents:
+                refs = self.extent_refs.get(offset, 0) - 1
+                if refs > 0:
+                    self.extent_refs[offset] = refs
+                else:
+                    self.extent_refs.pop(offset, None)
+            self.device.discard_extent(meta_extent)
+            self.alloc.free(meta_extent, len(payload))
+            raise
+        # Only after the flip: the flushed pages' content is durable,
+        # so stamp them clean for IO-free pageout eviction (§6).  A
         # write in the meantime replaced the Page object, leaving the
         # new content correctly dirty.
         for oid, page_map in info.pages.items():
@@ -250,16 +306,7 @@ class ObjectStore:
                 page = staged.get(pindex)
                 if page is not None:
                     page.clean_locator = locator
-        payload = records.encode(records.REC_CKPT_META, info.encode_meta())
-        meta_extent = self.alloc.alloc(len(payload))
-        self.device.write(meta_extent, payload)
-        info.meta_extent = (meta_extent, len(payload))
-        info.complete = True
-        self._pending_commits.pop(info.ckpt_id, None)
-        self.checkpoints[info.ckpt_id] = info
-        for offset, _length in info.owned_extents:
-            self.extent_refs[offset] = self.extent_refs.get(offset, 0) + 1
-        self._write_catalog_and_superblock()
+        self._commit_failures.pop(info.ckpt_id, None)
         self.stats["commits"] += 1
         self.stats["bytes_flushed"] += info.data_bytes
         # Chain depth at commit time — the knob retain_last exists to
@@ -277,7 +324,8 @@ class ObjectStore:
             callback(info)
 
     def commit(self, txn: CheckpointTxn, sync: bool = False,
-               on_complete: Optional[Callable[[CheckpointInfo], None]] = None
+               on_complete: Optional[Callable[[CheckpointInfo], None]] = None,
+               on_failure: Optional[Callable[[Exception], None]] = None
                ) -> CheckpointInfo:
         """Commit a checkpoint transaction.
 
@@ -286,31 +334,93 @@ class ObjectStore:
         loop when the data lands, and ``on_complete`` fires then.
         ``sync=True`` advances the clock to durability before
         returning (sls_checkpoint + sls_barrier semantics).
+
+        A storage failure that survives the retry policy aborts the
+        transaction — every allocated extent is released and queued
+        writes cancelled — before the error propagates (sync) or
+        ``on_failure`` fires (async).  Injected power failures are the
+        exception: the host is dying, so nothing is cleaned up.
         """
         self._require_mounted()
         if txn.committed:
             raise InvalidArgument("transaction already committed")
         txn.committed = True
         submitted = self.clock.now()
-        done_pages = self._pack_pages(txn)
-        done_records = self._write_records(txn)
-        data_done = max(done_pages, done_records)
-        telemetry.registry().record_span("store.flush", submitted,
-                                         data_done,
-                                         group=txn.info.group_id)
-        if on_complete is not None:
-            self._commit_watchers.setdefault(txn.info.ckpt_id,
-                                             []).append(on_complete)
-        if sync:
-            self.clock.advance_to(data_done)
-            self.device.poll()
-            self._finalize_commit(txn)
-        else:
-            self._pending_commits[txn.info.ckpt_id] = (txn.info.group_id,
-                                                       data_done)
-            self.loop.call_at(data_done,
-                              lambda: self._finalize_commit(txn))
+        try:
+            done_pages = self._pack_pages(txn)
+            done_records = self._write_records(txn)
+            data_done = max(done_pages, done_records)
+            telemetry.registry().record_span("store.flush", submitted,
+                                             data_done,
+                                             group=txn.info.group_id)
+            if on_complete is not None:
+                self._commit_watchers.setdefault(txn.info.ckpt_id,
+                                                 []).append(on_complete)
+            if on_failure is not None:
+                self._commit_failures.setdefault(txn.info.ckpt_id,
+                                                 []).append(on_failure)
+            if sync:
+                self.clock.advance_to(data_done)
+                self.device.poll()
+                self._finalize_commit(txn)
+            else:
+                self._pending_commits[txn.info.ckpt_id] = (txn.info.group_id,
+                                                           data_done)
+                self.loop.call_at(data_done,
+                                  lambda: self._finalize_async(txn))
+        except (InjectedCrash, MachineCrashed):
+            raise
+        except ReproError:
+            self.abort_checkpoint(txn)
+            raise
         return txn.info
+
+    def _finalize_async(self, txn: CheckpointTxn) -> None:
+        """Event-loop finalizer: failures abort instead of unwinding
+        into whoever happens to be driving the loop."""
+        try:
+            self._finalize_commit(txn)
+        except (InjectedCrash, MachineCrashed):
+            raise
+        except ReproError as exc:
+            self.abort_checkpoint(txn)
+            for callback in self._commit_failures.pop(txn.info.ckpt_id, []):
+                callback(exc)
+
+    def abort_checkpoint(self, txn: CheckpointTxn) -> int:
+        """Roll back a failed checkpoint transaction.
+
+        Frees every extent the transaction allocated, cancels its
+        writes still sitting in device queues and discards anything
+        that already landed — blockalloc accounting returns exactly to
+        its pre-checkpoint state (the no-leaked-blocks regression test
+        asserts this).  Returns the number of bytes released.
+        """
+        info = txn.info
+        if info.complete:
+            raise InvalidArgument(
+                f"checkpoint {info.ckpt_id} already committed")
+        if txn.aborted:
+            return 0
+        txn.aborted = True
+        released = 0
+        for offset, length in info.owned_extents:
+            self.device.cancel_extent(offset)
+            self.device.discard_extent(offset)
+            self.alloc.free(offset, length)
+            released += length
+        info.owned_extents = []
+        info.object_records = {}
+        info.pages = {}
+        info.data_bytes = 0
+        self._pending_commits.pop(info.ckpt_id, None)
+        self._commit_watchers.pop(info.ckpt_id, None)
+        events.emit(self.clock.now(), events.CKPT_ABORT,
+                    group=info.group_id, ckpt=info.ckpt_id,
+                    released_bytes=released)
+        telemetry.registry().counter("sls.store.aborts",
+                                     group=info.group_id).add(1)
+        return released
 
     def pending_commit_deadline(self, group_id: Optional[int] = None
                                 ) -> Optional[int]:
@@ -340,7 +450,14 @@ class ObjectStore:
         payload = records.encode(records.REC_CATALOG, catalog_body)
         old_catalog = self._catalog_extent
         extent = self.alloc.alloc(len(payload))
-        self.device.write(extent, payload)
+        try:
+            self.retry.run(lambda: self.device.write(extent, payload),
+                           op="store.catalog")
+        except (InjectedCrash, MachineCrashed):
+            raise
+        except ReproError:
+            self.alloc.free(extent, len(payload))
+            raise
         self._catalog_extent = (extent, len(payload))
 
         self._generation += 1
@@ -356,7 +473,19 @@ class ObjectStore:
         })
         slot = SUPERBLOCK_SLOTS[self._generation % 2]
         self.clock.advance(costs.STORE_COMMIT)
-        self.device.write(slot, superblock)
+        try:
+            self.retry.run(lambda: self.device.write(slot, superblock),
+                           op="store.superblock")
+        except (InjectedCrash, MachineCrashed):
+            raise
+        except ReproError:
+            # The flip never landed: fall back to the previous catalog
+            # so in-memory state matches what recovery would see.
+            self.device.discard_extent(extent)
+            self.alloc.free(extent, len(payload))
+            self._catalog_extent = old_catalog
+            self._generation -= 1
+            raise
         if old_catalog is not None:
             self.alloc.free(*old_catalog)
 
@@ -449,29 +578,94 @@ class ObjectStore:
 
     def read_object_record(self, extent: Tuple[int, int]) -> Tuple[int, str, Any]:
         """Read + decode one object record extent."""
-        payload = self.device.read(extent[0])
+        payload = self.retry.run(lambda: self.device.read(extent[0]),
+                                 op="store.read")
         if not isinstance(payload, bytes):
             raise CorruptRecord("object record extent holds synthetic data")
         return records.decode_object(payload)
 
-    def read_object_records(self, extents: Dict[int, Tuple[int, int]]
+    def _decode_record(self, oid: int, payload: Any) -> Tuple[str, Any]:
+        if not isinstance(payload, bytes):
+            raise CorruptRecord("record extent holds synthetic data")
+        r_oid, otype, state = records.decode_object(payload)
+        if r_oid != oid:
+            raise CorruptRecord(f"record OID mismatch for {oid}")
+        return otype, state
+
+    def record_fallbacks(self, ckpt_id: int,
+                         primary: Dict[int, Tuple[int, int]]
+                         ) -> Dict[int, List[Tuple[int, int]]]:
+        """Older record extents per OID along the parent chain.
+
+        The read path uses these as redundancy: when the newest copy
+        of a record fails its checksum, an ancestor delta's copy of
+        the same object (stale but internally consistent) can stand
+        in — the parent-checkpoint analogue of ZFS's ditto blocks.
+        """
+        fallbacks: Dict[int, List[Tuple[int, int]]] = {}
+        for info in self.parent_chain(ckpt_id):
+            for oid, extent in info.object_records.items():
+                newest = primary.get(oid)
+                if newest is None or tuple(extent) == tuple(newest):
+                    continue
+                fallbacks.setdefault(oid, []).append(extent)
+        return fallbacks
+
+    def _read_record_resilient(self, oid: int, extent: Tuple[int, int],
+                               fallbacks: Dict[int, List[Tuple[int, int]]]
+                               ) -> Tuple[Tuple[str, Any], int]:
+        """Checksum-mismatch recovery: re-read the primary, then fall
+        back to ancestor copies, newest first."""
+        candidates = [extent] + fallbacks.get(oid, [])
+        last_done = self.clock.now()
+        last_error: Optional[CorruptRecord] = None
+        for rank, candidate in enumerate(candidates):
+            cand_off = candidate[0]
+            try:
+                payload, done = self.retry.run(
+                    lambda: self.device.read_async(cand_off),
+                    op="store.read")
+                last_done = max(last_done, done)
+                value = self._decode_record(oid, payload)
+            except CorruptRecord as exc:
+                last_error = exc
+                continue
+            events.emit(self.clock.now(), events.READ_FALLBACK,
+                        oid=oid, extent=cand_off,
+                        source="reread" if rank == 0 else "parent")
+            telemetry.registry().counter(
+                "sls.store.read_fallbacks",
+                source="reread" if rank == 0 else "parent").add(1)
+            return value, last_done
+        assert last_error is not None
+        raise last_error
+
+    def read_object_records(self, extents: Dict[int, Tuple[int, int]],
+                            fallbacks: Optional[Dict[int, List[Tuple[int, int]]]] = None
                             ) -> Dict[int, Tuple[str, Any]]:
         """Batched record reads: all dispatched at once, one wait.
 
         Restores issue every record read in parallel (queue depth ≫ 1)
         so the per-command latency overlaps instead of serializing.
+        With ``fallbacks`` (see :meth:`record_fallbacks`), a record
+        that fails validation is re-read and then recovered from an
+        ancestor copy instead of failing the whole restore.
         """
         decoded: Dict[int, Tuple[str, Any]] = {}
         last_done = self.clock.now()
         for oid, extent in extents.items():
-            payload, done = self.device.read_async(extent[0])
+            payload, done = self.retry.run(
+                lambda: self.device.read_async(extent[0]),
+                op="store.read")
             last_done = max(last_done, done)
-            if not isinstance(payload, bytes):
-                raise CorruptRecord("record extent holds synthetic data")
-            r_oid, otype, state = records.decode_object(payload)
-            if r_oid != oid:
-                raise CorruptRecord(f"record OID mismatch for {oid}")
-            decoded[oid] = (otype, state)
+            try:
+                decoded[oid] = self._decode_record(oid, payload)
+            except CorruptRecord:
+                if fallbacks is None:
+                    raise
+                decoded[oid], done = self._read_record_resilient(
+                    oid, extent, fallbacks)
+                last_done = max(last_done, done)
         self.clock.advance_to(last_done)
         return decoded
 
@@ -479,7 +673,8 @@ class ObjectStore:
         """Materialize a page from its locator (reads the device)."""
         if locator.kind == "syn":
             return Page(seed=locator.seed)
-        payload = self.device.read(locator.extent)
+        payload = self.retry.run(lambda: self.device.read(locator.extent),
+                                 op="store.read")
         if not isinstance(payload, bytes):
             raise CorruptRecord("page extent holds synthetic data")
         data = payload[locator.byte_off:locator.byte_off + locator.length]
