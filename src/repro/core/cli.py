@@ -200,6 +200,16 @@ def cmd_stat(args) -> int:
           f"{fmt_time(group.stats['stop_ns_total'] // checkpoints)}, "
           f"max {fmt_time(group.stats['stop_ns_max'])}; "
           f"{fmt_size(group.stats['bytes_flushed'])} flushed")
+    # Throughput over the measured window (checkpoints x period), so
+    # scale runs are legible straight from the CLI.
+    elapsed_s = checkpoints * group.period_ns / 1e9
+    if elapsed_s > 0:
+        print(f"throughput: "
+              f"{group.stats['pages_flushed'] / elapsed_s:,.0f} pages/s, "
+              f"{group.stats['records_written'] / elapsed_s:,.0f} records/s "
+              f"({group.stats['pages_flushed']} pages, "
+              f"{group.stats['records_written']} records over "
+              f"{elapsed_s:.2f}s simulated)")
     dropped = registry.value("sls.telemetry.spans_dropped")
     print(f"span ring: {len(registry.spans)} retained, "
           f"{dropped} dropped")

@@ -96,7 +96,7 @@ class ConsistencyGroup:
         self.stats = telemetry.StatsView(
             "sls.group", labels={"group": group_id},
             keys=("checkpoints", "stop_ns_total", "stop_ns_max",
-                  "pages_flushed", "bytes_flushed"))
+                  "pages_flushed", "bytes_flushed", "records_written"))
 
     # -- membership ----------------------------------------------------------------
 

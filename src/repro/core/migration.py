@@ -67,7 +67,7 @@ def send_checkpoint(sls, group_id: int, ckpt_id: Optional[int] = None,
 
     records = {}
     for oid, extent in record_extents.items():
-        _oid, otype, state = store.read_object_record(extent)
+        _oid, otype, state = store.read_object_record(extent, oid=oid)
         records[str(oid)] = [otype, state]
 
     stream = serde.dumps({

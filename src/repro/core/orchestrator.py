@@ -290,6 +290,7 @@ class Orchestrator:
         if mode == MODE_DISK:
             group.stats["pages_flushed"] += result.pages_flushed
             group.stats["bytes_flushed"] += ctx.info.data_bytes
+            group.stats["records_written"] += result.records_written
         return result
 
     #: Sentinel: "leave the group's epoch floor untouched".

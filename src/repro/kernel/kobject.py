@@ -14,7 +14,7 @@ exactly once").
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..errors import InvalidArgument
 
@@ -29,8 +29,8 @@ class KObject:
 
     obj_type = "kobject"
 
-    def __init__(self, kernel: "object"):
-        self.kernel = kernel
+    def __init__(self, kernel: Any):
+        self.kernel: Any = kernel
         self.kid: int = kernel.next_kid()
         self.ref_count = 1
         self._destroyed = False

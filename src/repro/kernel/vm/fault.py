@@ -13,7 +13,7 @@ charges calibrated costs for every hop and copy it performs.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ...core import costs
 from ...errors import SegmentationFault
@@ -21,7 +21,7 @@ from ...hw.memory import Page
 from .vmmap import PROT_READ, PROT_WRITE, VMMapEntry
 
 
-def handle_fault(space, va_page: int, write: bool) -> Optional[Page]:
+def handle_fault(space: Any, va_page: int, write: bool) -> Optional[Page]:
     """Resolve a fault at ``va_page``; returns the resident page.
 
     Returns ``None`` for a read of a never-written anonymous page (the
@@ -69,7 +69,7 @@ def handle_fault(space, va_page: int, write: bool) -> Optional[Page]:
             # Zero-fill read: map nothing, reads observe zeros.
             space.pmap.enter(va_page, writable=False)
             return None
-        writable = (depth == 0 and entry.writable()
+        writable = (depth == 0 and owner is not None and entry.writable()
                     and not entry.needs_copy and not owner.frozen)
         space.pmap.enter(va_page, writable=writable)
         return page

@@ -10,26 +10,269 @@ page — *writable* and *dirty* — plus counters, so that:
 * system shadowing's cost of "marking pages copy-on-write in the x86
   page tables" can be charged per PTE actually downgraded, which is
   what makes Table 5's stop time linear in the dirty set.
+
+The default implementation is *columnar*: instead of a ``Dict[int,
+PTE]`` keyed by virtual page number, the three PTE bits live in three
+packed bitmap columns (present / writable / dirty), each a sparse map
+of :data:`CHUNK_BITS`-wide integer words.  Range operations —
+``write_protect_range``, ``remove_range``, ``collect_dirty`` — become
+word-wise mask arithmetic (C-speed memcpy-class work), so a
+checkpoint's write-protect pass over a million-page mapping costs a
+few hundred mask ops instead of a million dict probes, while a single
+page fault rewrites one chunk-sized word rather than the whole
+column.  :class:`LegacyPmap`
+preserves the original dict-of-PTE implementation; the equivalence
+property suite drives both with identical operation sequences and
+asserts observational equality.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ...errors import SegmentationFault
+
+
+def iter_bit_runs(bits: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, length)`` runs of consecutive set bits.
+
+    Each run costs a constant number of big-int operations (isolate
+    the lowest set bit, count the trailing ones, strip the run), so a
+    sweep costs O(runs), not O(bits): a million-page bitmap with one
+    dirty run is three mask ops, independent of where the run sits.
+    """
+    while bits:
+        # Lowest set bit = start of the next run.
+        start = (bits & -bits).bit_length() - 1
+        tail = bits >> start
+        # ``tail`` ends in the run's ones; ``tail + 1`` carries past
+        # them, so its lowest set bit sits just above the run.
+        length = ((tail + 1) & -(tail + 1)).bit_length() - 1
+        yield start, length
+        bits = (tail >> length) << (start + length)
 
 
 class PTE:
-    """One translation: writable + dirty bits."""
+    """One translation: writable + dirty bits (legacy representation)."""
     __slots__ = ("writable", "dirty")
 
-    def __init__(self, writable: bool):
+    def __init__(self, writable: bool) -> None:
         self.writable = writable
         self.dirty = False
 
 
-class Pmap:
-    """Per-address-space page table model keyed by virtual page number."""
+#: Bits per bitmap chunk.  Single-PTE updates (page faults) rewrite one
+#: chunk — a few hundred bytes — instead of the whole column, while
+#: range operations still move chunk-at-a-time masks; 4096 bits keeps a
+#: million-page column at 256 chunks.
+CHUNK_BITS = 4096
 
-    def __init__(self):
+
+class Pmap:
+    """Per-address-space page table model, bitmap columns per PTE bit.
+
+    Each column (present / writable / dirty) is a sparse map of chunk
+    index → ``chunk_bits``-wide bitmap word.  Bit ``va_page %
+    chunk_bits`` of word ``va_page // chunk_bits`` holds that page's
+    bit.  Invariants: ``writable ⊆ present`` and ``dirty ⊆ present``;
+    a chunk with no present bits is absent from every column.
+    """
+
+    def __init__(self, chunk_bits: int = CHUNK_BITS) -> None:
+        self._chunk_bits = chunk_bits
+        self._full_chunk = (1 << chunk_bits) - 1
+        self._present: Dict[int, int] = {}
+        self._writable: Dict[int, int] = {}
+        self._dirty: Dict[int, int] = {}
+        self.fault_count = 0
+        self.wp_downgrades = 0
+
+    def _chunk_masks(self, start_page: int,
+                     npages: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(chunk_index, mask)`` covering the page range."""
+        chunk_bits = self._chunk_bits
+        end = start_page + npages
+        chunk = start_page // chunk_bits
+        while chunk * chunk_bits < end:
+            low = max(start_page - chunk * chunk_bits, 0)
+            high = min(end - chunk * chunk_bits, chunk_bits)
+            if low == 0 and high == chunk_bits:
+                yield chunk, self._full_chunk
+            else:
+                yield chunk, ((1 << (high - low)) - 1) << low
+            chunk += 1
+
+    def enter(self, va_page: int, writable: bool) -> None:
+        """Install a translation (overwrites any existing one)."""
+        chunk, offset = divmod(va_page, self._chunk_bits)
+        bit = 1 << offset
+        self._present[chunk] = self._present.get(chunk, 0) | bit
+        word = self._writable.get(chunk, 0)
+        self._writable[chunk] = (word | bit) if writable else (word & ~bit)
+        # A fresh PTE starts clean, exactly like ``PTE(writable)``.
+        word = self._dirty.get(chunk, 0)
+        if word & bit:
+            self._dirty[chunk] = word & ~bit
+
+    def enter_range(self, start_page: int, npages: int, writable: bool,
+                    dirty: bool = False) -> None:
+        """Install ``npages`` contiguous translations, one mask op per
+        covered chunk.
+
+        Equivalent to ``enter()`` per page (plus ``mark_dirty`` per
+        page when ``dirty``); used by bulk setup paths such as
+        :meth:`~repro.kernel.vm.vmspace.VMSpace.fill`.
+        """
+        if npages <= 0:
+            return
+        for chunk, mask in self._chunk_masks(start_page, npages):
+            self._present[chunk] = self._present.get(chunk, 0) | mask
+            word = self._writable.get(chunk, 0)
+            self._writable[chunk] = (word | mask) if writable \
+                else (word & ~mask)
+            word = self._dirty.get(chunk, 0)
+            self._dirty[chunk] = (word | mask) if dirty else (word & ~mask)
+
+    def _drop_bits(self, chunk: int, mask: int) -> None:
+        """Clear ``mask`` bits of one chunk in every column."""
+        word = self._present.get(chunk, 0) & ~mask
+        if word:
+            self._present[chunk] = word
+            self._writable[chunk] = self._writable.get(chunk, 0) & ~mask
+            self._dirty[chunk] = self._dirty.get(chunk, 0) & ~mask
+        else:
+            self._present.pop(chunk, None)
+            self._writable.pop(chunk, None)
+            self._dirty.pop(chunk, None)
+
+    def remove(self, va_page: int) -> None:
+        """Invalidate one translation."""
+        chunk, offset = divmod(va_page, self._chunk_bits)
+        if chunk in self._present:
+            self._drop_bits(chunk, 1 << offset)
+
+    def remove_range(self, start_page: int, npages: int) -> None:
+        """Invalidate a contiguous range of translations."""
+        if npages <= 0:
+            return
+        for chunk, mask in self._chunk_masks(start_page, npages):
+            if chunk in self._present:
+                self._drop_bits(chunk, mask)
+
+    def is_mapped(self, va_page: int) -> bool:
+        """True when a translation exists for the page."""
+        chunk, offset = divmod(va_page, self._chunk_bits)
+        return bool(self._present.get(chunk, 0) >> offset & 1)
+
+    def is_writable(self, va_page: int) -> bool:
+        """True when the page is mapped writable."""
+        chunk, offset = divmod(va_page, self._chunk_bits)
+        return bool(self._writable.get(chunk, 0) >> offset & 1)
+
+    def mark_dirty(self, va_page: int) -> None:
+        """Set the dirty bit (a store hit the page).
+
+        Dirtying a page with no installed translation is a VM-layer
+        contract violation (the hardware cannot set a dirty bit in a
+        PTE that does not exist), surfaced as a typed fault instead of
+        a bare ``KeyError``.
+        """
+        chunk, offset = divmod(va_page, self._chunk_bits)
+        bit = 1 << offset
+        if not self._present.get(chunk, 0) & bit:
+            raise SegmentationFault(
+                f"mark_dirty on unmapped page {va_page:#x}: no PTE "
+                f"installed (enter() the translation first)")
+        self._dirty[chunk] = self._dirty.get(chunk, 0) | bit
+
+    def write_protect_range(self, start_page: int, npages: int) -> int:
+        """Downgrade writable PTEs in a range to read-only.
+
+        Returns the number of PTEs actually downgraded — the linear
+        cost driver of a system-shadowing pass.  Dirty bits are cleared
+        as the downgraded pages now belong to the frozen checkpoint.
+        """
+        if npages <= 0:
+            return 0
+        downgraded = 0
+        for chunk, mask in self._chunk_masks(start_page, npages):
+            word = self._writable.get(chunk)
+            if not word:
+                continue
+            downgrade = word & mask
+            if not downgrade:
+                continue
+            self._writable[chunk] = word & ~downgrade
+            dirty = self._dirty.get(chunk)
+            if dirty:
+                self._dirty[chunk] = dirty & ~downgrade
+            downgraded += downgrade.bit_count()
+        self.wp_downgrades += downgraded
+        return downgraded
+
+    def resident_pages(self) -> int:
+        """Number of installed translations."""
+        return sum(word.bit_count() for word in self._present.values())
+
+    def dirty_pages(self) -> List[int]:
+        """Virtual pages whose dirty bit is set (ascending)."""
+        pages: List[int] = []
+        for chunk in sorted(self._dirty):
+            base = chunk * self._chunk_bits
+            for start, length in iter_bit_runs(self._dirty[chunk]):
+                pages.extend(range(base + start, base + start + length))
+        return pages
+
+    def collect_dirty(self, start_page: int,
+                      npages: int) -> Iterator[Tuple[int, int]]:
+        """Dirty pages in a range as ``(page, run_length)`` runs.
+
+        The batched successor to :meth:`dirty_pages`: a checkpoint pass
+        over a window yields contiguous dirty *runs* so downstream
+        staging can move slabs instead of single pages.  Runs crossing
+        a chunk boundary are stitched back together.
+        """
+        if npages <= 0:
+            return
+        pending_start = pending_len = 0
+        for chunk, mask in self._chunk_masks(start_page, npages):
+            word = self._dirty.get(chunk)
+            window = word & mask if word else 0
+            if not window:
+                if pending_len:
+                    yield pending_start, pending_len
+                    pending_len = 0
+                continue
+            base = chunk * self._chunk_bits
+            for run_start, run_len in iter_bit_runs(window):
+                absolute = base + run_start
+                if pending_len and pending_start + pending_len == absolute:
+                    pending_len += run_len
+                else:
+                    if pending_len:
+                        yield pending_start, pending_len
+                    pending_start, pending_len = absolute, run_len
+        if pending_len:
+            yield pending_start, pending_len
+
+    def clear(self) -> None:
+        """Drop every translation (address space teardown)."""
+        self._present.clear()
+        self._writable.clear()
+        self._dirty.clear()
+
+
+class LegacyPmap:
+    """The original dict-of-:class:`PTE` pmap.
+
+    Kept as the executable specification: the hypothesis equivalence
+    suite runs random operation sequences against this and the bitmap
+    :class:`Pmap` and asserts identical observable state, and the
+    ``bench_simscale`` baseline mode installs it to measure the
+    pre-columnar wall-clock.
+    """
+
+    def __init__(self) -> None:
         self._ptes: Dict[int, PTE] = {}
         self.fault_count = 0
         self.wp_downgrades = 0
@@ -37,6 +280,14 @@ class Pmap:
     def enter(self, va_page: int, writable: bool) -> None:
         """Install a translation (overwrites any existing one)."""
         self._ptes[va_page] = PTE(writable)
+
+    def enter_range(self, start_page: int, npages: int, writable: bool,
+                    dirty: bool = False) -> None:
+        """Per-page equivalent of the bitmap bulk install."""
+        for va_page in range(start_page, start_page + npages):
+            pte = PTE(writable)
+            pte.dirty = dirty
+            self._ptes[va_page] = pte
 
     def remove(self, va_page: int) -> None:
         """Invalidate one translation."""
@@ -58,15 +309,15 @@ class Pmap:
 
     def mark_dirty(self, va_page: int) -> None:
         """Set the dirty bit (a store hit the page)."""
-        self._ptes[va_page].dirty = True
+        pte = self._ptes.get(va_page)
+        if pte is None:
+            raise SegmentationFault(
+                f"mark_dirty on unmapped page {va_page:#x}: no PTE "
+                f"installed (enter() the translation first)")
+        pte.dirty = True
 
     def write_protect_range(self, start_page: int, npages: int) -> int:
-        """Downgrade writable PTEs in a range to read-only.
-
-        Returns the number of PTEs actually downgraded — the linear
-        cost driver of a system-shadowing pass.  Dirty bits are cleared
-        as the downgraded pages now belong to the frozen checkpoint.
-        """
+        """Downgrade writable PTEs in a range to read-only."""
         downgraded = 0
         if npages <= 0:
             return 0
@@ -90,8 +341,25 @@ class Pmap:
         return len(self._ptes)
 
     def dirty_pages(self) -> List[int]:
-        """Virtual pages whose dirty bit is set."""
-        return [va for va, pte in self._ptes.items() if pte.dirty]
+        """Virtual pages whose dirty bit is set (ascending)."""
+        return sorted(va for va, pte in self._ptes.items() if pte.dirty)
+
+    def collect_dirty(self, start_page: int,
+                      npages: int) -> Iterator[Tuple[int, int]]:
+        """Per-page scan producing the same runs as the bitmap pmap."""
+        run_start = -1
+        run_len = 0
+        for va_page in range(start_page, start_page + npages):
+            pte = self._ptes.get(va_page)
+            if pte is not None and pte.dirty:
+                if run_len and run_start + run_len == va_page:
+                    run_len += 1
+                else:
+                    if run_len:
+                        yield run_start, run_len
+                    run_start, run_len = va_page, 1
+        if run_len:
+            yield run_start, run_len
 
     def clear(self) -> None:
         """Drop every translation (address space teardown)."""

@@ -28,7 +28,7 @@ class VMMapEntry:
 
     def __init__(self, start_page: int, npages: int, protection: int,
                  vmobject: VMObject, offset_pages: int = 0,
-                 inheritance: str = INHERIT_COPY, name: str = ""):
+                 inheritance: str = INHERIT_COPY, name: str = "") -> None:
         if npages <= 0:
             raise InvalidArgument("entry must span at least one page")
         self.start_page = start_page
@@ -93,15 +93,15 @@ class VMMap:
     #: Lowest user page (leave page 0 unmapped, as real systems do).
     MIN_PAGE = 0x1000
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.entries: List[VMMapEntry] = []
-
-    def _starts(self) -> List[int]:
-        return [e.start_page for e in self.entries]
+        #: Sorted start pages, kept in lockstep with ``entries`` so the
+        #: fault path's per-page lookups do not rebuild the list.
+        self._starts: List[int] = []
 
     def insert(self, entry: VMMapEntry) -> None:
         """Add an entry, rejecting overlaps."""
-        index = bisect.bisect_left(self._starts(), entry.start_page)
+        index = bisect.bisect_left(self._starts, entry.start_page)
         prev_entry = self.entries[index - 1] if index > 0 else None
         next_entry = self.entries[index] if index < len(self.entries) else None
         if prev_entry is not None and prev_entry.end_page > entry.start_page:
@@ -109,10 +109,13 @@ class VMMap:
         if next_entry is not None and entry.end_page > next_entry.start_page:
             raise InvalidArgument(f"overlap with {next_entry}")
         self.entries.insert(index, entry)
+        self._starts.insert(index, entry.start_page)
 
     def remove(self, entry: VMMapEntry) -> None:
         """Remove an entry and drop its object reference."""
-        self.entries.remove(entry)
+        index = self.entries.index(entry)
+        del self.entries[index]
+        del self._starts[index]
         entry.release()
 
     def find_space(self, npages: int) -> int:
@@ -126,7 +129,7 @@ class VMMap:
 
     def lookup(self, va_page: int) -> Optional[VMMapEntry]:
         """The entry covering a virtual page, or None."""
-        index = bisect.bisect_right(self._starts(), va_page) - 1
+        index = bisect.bisect_right(self._starts, va_page) - 1
         if index >= 0:
             entry = self.entries[index]
             if entry.contains(va_page):

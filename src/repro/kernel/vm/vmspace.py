@@ -11,7 +11,7 @@ copy-on-write address space duplication.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from ...core import costs
 from ...errors import InvalidArgument, SegmentationFault
@@ -30,7 +30,7 @@ class VMSpace(KObject):
 
     obj_type = "vmspace"
 
-    def __init__(self, kernel):
+    def __init__(self, kernel: Any) -> None:
         super().__init__(kernel)
         self.map = VMMap()
         self.pmap = Pmap()
@@ -153,15 +153,23 @@ class VMSpace(KObject):
         be) without charging per-fault costs.
         """
         start_page = addr // PAGE_SIZE
-        for i in range(npages):
-            va_page = start_page + i
+        end_page = start_page + npages
+        va_page = start_page
+        # Walk entry by entry so each covered stretch becomes one slab
+        # insert plus one bitmap range-enter, keeping million-page
+        # benchmark setup out of per-page Python loops.
+        while va_page < end_page:
             entry = self.map.lookup(va_page)
             if entry is None:
                 raise SegmentationFault(f"fill outside mapping: {va_page:#x}")
-            entry.vmobject.insert_page(entry.pindex_of(va_page),
-                                       Page(seed=seed + i))
-            self.pmap.enter(va_page, writable=True)
-            self.pmap.mark_dirty(va_page)
+            stretch = min(end_page, entry.end_page) - va_page
+            base_pindex = entry.pindex_of(va_page)
+            base_seed = seed + (va_page - start_page)
+            entry.vmobject.insert_pages({
+                base_pindex + i: Page(seed=base_seed + i)
+                for i in range(stretch)})
+            self.pmap.enter_range(va_page, stretch, writable=True, dirty=True)
+            va_page += stretch
 
     def touch(self, addr: int, npages: int, seed: int) -> int:
         """Dirty ``npages`` starting at ``addr`` with synthetic writes.
@@ -172,10 +180,12 @@ class VMSpace(KObject):
         """
         start_page = addr // PAGE_SIZE
         faults_before = self.pmap.fault_count
+        entry: Optional[VMMapEntry] = None
         for i in range(npages):
             va_page = start_page + i
-            if self.pmap.is_writable(va_page):
+            if entry is None or not entry.contains(va_page):
                 entry = self.map.lookup(va_page)
+            if self.pmap.is_writable(va_page):
                 assert entry is not None
                 pindex = entry.pindex_of(va_page)
                 if pindex in entry.vmobject.pages:
@@ -185,7 +195,9 @@ class VMSpace(KObject):
                 self.pmap.mark_dirty(va_page)
             else:
                 fault_mod.handle_fault(self, va_page, write=True)
-                entry = self.map.lookup(va_page)
+                # The fault may have repointed the entry to a fresh COW
+                # shadow; the entry object itself is stable, so re-read
+                # its vmobject rather than re-running the map lookup.
                 assert entry is not None
                 pindex = entry.pindex_of(va_page)
                 entry.vmobject.pages[pindex] = Page(seed=seed + i)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from ..core.runs import build_arith_runs, expand_arith_runs
 from ..errors import CorruptRecord
 
 
@@ -62,6 +63,73 @@ class PageLocator:
         raise CorruptRecord(f"bad locator kind {raw[0]!r}")
 
 
+def encode_page_runs(page_map: Dict[int, "PageLocator"]) -> List[list]:
+    """Run-compress a page-locator map for the metadata record.
+
+    Adjacent pages whose locators follow an arithmetic pattern —
+    synthetic seeds stepping by a constant, or consecutive slots of
+    one packed extent — collapse into single run entries::
+
+        ["syn", start_pindex, count, seed0, seed_step]
+        ["ext", start_pindex, count, extent, byte_off0, page_len]
+
+    so a million-page checkpoint's metadata document holds a handful
+    of runs instead of a million per-page entries.
+    """
+    entries: List[list] = []
+    for pindex in sorted(page_map):
+        loc = page_map[pindex]
+        last = entries[-1] if entries else None
+        if loc.kind == "syn":
+            if (last is not None and last[0] == "syn"
+                    and last[1] + last[2] == pindex):
+                if last[2] == 1:
+                    # Second element pins the run's seed step.
+                    last[4] = loc.seed - last[3]
+                    last[2] = 2
+                    continue
+                if loc.seed == last[3] + last[4] * last[2]:
+                    last[2] += 1
+                    continue
+            entries.append(["syn", pindex, 1, loc.seed, 0])
+        else:
+            if (last is not None and last[0] == "ext"
+                    and last[1] + last[2] == pindex
+                    and last[3] == loc.extent
+                    and last[5] == loc.length
+                    and last[4] + last[5] * last[2] == loc.byte_off):
+                last[2] += 1
+                continue
+            entries.append(["ext", pindex, 1, loc.extent,
+                            loc.byte_off, loc.length])
+    return entries
+
+
+def decode_page_runs(raw: List[list]) -> Dict[int, "PageLocator"]:
+    """Expand run entries back to the per-page locator map.
+
+    The in-memory representation stays per-page — every consumer
+    (restore, GC, scrub, replication) is unchanged; only the wire
+    format is columnar.
+    """
+    page_map: Dict[int, PageLocator] = {}
+    for entry in raw:
+        if not entry:
+            raise CorruptRecord("empty page run entry")
+        if entry[0] == "syn":
+            _kind, start, count, seed0, step = entry
+            for i in range(count):
+                page_map[start + i] = PageLocator.synthetic(seed0 + step * i)
+        elif entry[0] == "ext":
+            _kind, start, count, extent, byte_off0, length = entry
+            for i in range(count):
+                page_map[start + i] = PageLocator.in_extent(
+                    extent, byte_off0 + length * i, length)
+        else:
+            raise CorruptRecord(f"bad page run kind {entry[0]!r}")
+    return page_map
+
+
 class CheckpointInfo:
     """In-memory (and, encoded, on-disk) description of one checkpoint."""
 
@@ -100,9 +168,16 @@ class CheckpointInfo:
 
     def encode_meta(self) -> Dict[str, Any]:
         """The checkpoint's on-disk metadata document."""
+        # OIDs are allocated from one cursor with the class tag in the
+        # high bits, so each class's live OIDs form short arithmetic
+        # progressions; the live set — easily the largest part of a
+        # steady-state delta's metadata — compresses to a handful of
+        # [start, count, step] runs.
+        live_runs = None
+        if self.live_oids is not None:
+            live_runs = build_arith_runs(self.live_oids)
         return {
-            "live_oids": (sorted(self.live_oids)
-                          if self.live_oids is not None else None),
+            "live_oid_runs": live_runs,
             "records_skipped": self.records_skipped,
             "ckpt_id": self.ckpt_id,
             "group_id": self.group_id,
@@ -113,8 +188,7 @@ class CheckpointInfo:
             "object_records": {str(oid): [off, length]
                                for oid, (off, length)
                                in self.object_records.items()},
-            "pages": {str(oid): {str(pindex): locator.encode()
-                                 for pindex, locator in page_map.items()}
+            "pages": {str(oid): encode_page_runs(page_map)
                       for oid, page_map in self.pages.items()},
             "owned_extents": [[off, length]
                               for off, length in self.owned_extents],
@@ -128,18 +202,28 @@ class CheckpointInfo:
                    raw["parent"], raw["time_ns"], raw["partial"])
         info.object_records = {int(oid): (pair[0], pair[1])
                                for oid, pair in raw["object_records"].items()}
+        # Current metadata stores pages as run lists; checkpoints
+        # written before run compression used per-pindex dicts.
         info.pages = {
-            int(oid): {int(pindex): PageLocator.decode(loc)
-                       for pindex, loc in page_map.items()}
+            int(oid): (decode_page_runs(page_map)
+                       if isinstance(page_map, list)
+                       else {int(pindex): PageLocator.decode(loc)
+                             for pindex, loc in page_map.items()})
             for oid, page_map in raw["pages"].items()
         }
         info.owned_extents = [(pair[0], pair[1])
                               for pair in raw["owned_extents"]]
         info.data_bytes = raw["data_bytes"]
         # Fields absent from metadata written before incremental
-        # kernel-state checkpoints existed.
-        live = raw.get("live_oids")
-        info.live_oids = set(live) if live is not None else None
+        # kernel-state checkpoints existed.  Current metadata stores
+        # the live set run-compressed; older checkpoints wrote a flat
+        # OID list.
+        live_runs = raw.get("live_oid_runs")
+        if live_runs is not None:
+            info.live_oids = set(expand_arith_runs(live_runs))
+        else:
+            live = raw.get("live_oids")
+            info.live_oids = set(live) if live is not None else None
         info.records_skipped = raw.get("records_skipped", 0)
         return info
 

@@ -84,24 +84,35 @@ def delete_checkpoint(store: Any, ckpt_id: int) -> int:
                     if locator.kind == "ext":
                         adopted.add(locator.extent)
         forwarded = dropped = 0
+        # Batched staging shares one record extent across many OIDs:
+        # group the survivors by source extent so each batch payload is
+        # copied forward once and every surviving OID repointed to the
+        # single new copy.  (The copy is verbatim — checksum included —
+        # so it may carry records of dropped OIDs as dead weight; reads
+        # select by OID, so that is a space-only cost.)
+        to_forward: Dict[int, List[int]] = {}
+        extent_len: Dict[int, int] = {}
         for oid, extent in info.object_records.items():
             if oid in child.object_records:
                 continue
             if needed is not None and oid not in needed:
                 dropped += 1
                 continue
-            # Copy-forward: the payload moves verbatim (so the record
-            # checksum still verifies) into an extent the child owns.
-            payload = store.device.read(extent[0])
+            to_forward.setdefault(extent[0], []).append(oid)
+            extent_len[extent[0]] = extent[1]
+        for src_offset, oids in to_forward.items():
+            length = extent_len[src_offset]
+            payload = store.device.read(src_offset)
             if not isinstance(payload, bytes):
                 raise CorruptRecord(
-                    f"record extent {extent[0]} holds synthetic data")
-            new_offset = store.alloc.alloc(extent[1])
+                    f"record extent {src_offset} holds synthetic data")
+            new_offset = store.alloc.alloc(length)
             store.device.write(new_offset, payload)
-            child.object_records[oid] = (new_offset, extent[1])
-            child.owned_extents.append((new_offset, extent[1]))
+            child.owned_extents.append((new_offset, length))
             refs[new_offset] = refs.get(new_offset, 0) + 1
-            forwarded += 1
+            for oid in oids:
+                child.object_records[oid] = (new_offset, length)
+                forwarded += 1
         for offset, length in info.owned_extents:
             if offset in adopted:
                 child.owned_extents.append((offset, length))

@@ -7,7 +7,7 @@ recovery can sanity-check what it reads before trusting it.
 
 from __future__ import annotations
 
-from typing import Any, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from .. import serde
 from ..errors import CorruptRecord
@@ -16,11 +16,12 @@ REC_SUPERBLOCK = "superblock"
 REC_CATALOG = "catalog"
 REC_CKPT_META = "ckpt-meta"
 REC_OBJECT = "object"
+REC_OBJECT_BATCH = "object-batch"
 REC_JOURNAL = "journal"
 REC_SWAP = "swap"
 
 _KINDS = (REC_SUPERBLOCK, REC_CATALOG, REC_CKPT_META, REC_OBJECT,
-          REC_JOURNAL, REC_SWAP)
+          REC_OBJECT_BATCH, REC_JOURNAL, REC_SWAP)
 
 
 def encode(kind: str, body: Any) -> bytes:
@@ -50,3 +51,32 @@ def decode_object(data: bytes) -> Tuple[int, str, Any]:
     """(oid, otype, state) from an object record."""
     body = decode(data, REC_OBJECT)
     return body["oid"], body["otype"], body["state"]
+
+
+def encode_objects(encoded_records: Sequence[bytes]) -> bytes:
+    """Batch envelope wrapping pre-encoded object records.
+
+    A checkpoint stages its records into one extent per batch instead
+    of one per object; the inner payloads are the unchanged per-object
+    envelopes, so the batch amortizes extent allocation and write
+    submission without a second serialization format.
+    """
+    return encode(REC_OBJECT_BATCH, {"records": list(encoded_records)})
+
+
+def decode_objects(data: bytes) -> List[Tuple[int, str, Any]]:
+    """Every ``(oid, otype, state)`` in a record extent.
+
+    Accepts both a single-object envelope (legacy extents, single-
+    record checkpoints) and a batch envelope.
+    """
+    document = serde.loads(data)
+    if not isinstance(document, dict) or "kind" not in document:
+        raise CorruptRecord("record missing envelope")
+    if document["kind"] == REC_OBJECT:
+        body = document["body"]
+        return [(body["oid"], body["otype"], body["state"])]
+    if document["kind"] != REC_OBJECT_BATCH:
+        raise CorruptRecord(
+            f"expected object record(s), found {document['kind']!r}")
+    return [decode_object(item) for item in document["body"]["records"]]

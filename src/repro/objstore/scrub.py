@@ -144,29 +144,40 @@ def _scan_checkpoint(store: Any, report: ScrubReport,
                      info: CheckpointInfo) -> None:
     """Verify one checkpoint's record and page extents."""
     device = store.device
+    # Record extents are shared by every OID staged in the same batch:
+    # read + checksum each distinct extent once, then check per-OID
+    # membership against the decoded batch.
+    batch_oids: Dict[int, Optional[Set[int]]] = {}
+    batch_errors: Dict[int, str] = {}
     for oid, (extent, _length) in sorted(info.object_records.items()):
         if not device.has_extent(extent):
             report.add(DANGLING,
                        f"object record for oid {oid} points at missing "
                        f"extent {extent}", info.ckpt_id)
             continue
-        payload = device.read(extent)
-        if not isinstance(payload, bytes):
-            report.add(CHECKSUM,
-                       f"object record extent {extent} holds synthetic "
-                       f"data", info.ckpt_id)
+        if extent not in batch_oids:
+            payload = device.read(extent)
+            if not isinstance(payload, bytes):
+                batch_oids[extent] = None
+                batch_errors[extent] = (
+                    f"object record extent {extent} holds synthetic data")
+            else:
+                try:
+                    batch_oids[extent] = {
+                        r_oid for r_oid, _otype, _state
+                        in records.decode_objects(payload)}
+                except CorruptRecord as exc:
+                    batch_oids[extent] = None
+                    batch_errors[extent] = (
+                        f"object record at extent {extent}: {exc}")
+        members = batch_oids[extent]
+        if members is None:
+            report.add(CHECKSUM, batch_errors[extent], info.ckpt_id)
             continue
-        try:
-            r_oid, _otype, _state = records.decode_object(payload)
-        except CorruptRecord as exc:
+        if oid not in members:
             report.add(CHECKSUM,
-                       f"object record at extent {extent}: {exc}",
-                       info.ckpt_id)
-            continue
-        if r_oid != oid:
-            report.add(CHECKSUM,
-                       f"object record at extent {extent} claims oid "
-                       f"{r_oid}, catalog says {oid}", info.ckpt_id)
+                       f"object record extent {extent} does not contain "
+                       f"oid {oid} the catalog maps to it", info.ckpt_id)
         report.records_verified += 1
         report.stats["records"] += 1
 

@@ -41,6 +41,12 @@ from . import gc as gc_mod
 #: Superblock slots live in the first two stripe units.
 SUPERBLOCK_SLOTS = (0, STRIPE_SIZE)
 
+#: Object records staged per batch extent.  Large enough to amortize
+#: extent allocation and write submission across a checkpoint's record
+#: set (10k fds → ~40 extents), small enough that one corrupt extent
+#: loses a bounded slice of the catalog.
+RECORD_BATCH = 256
+
 
 class CheckpointTxn:
     """Staging area for one in-progress checkpoint."""
@@ -174,29 +180,36 @@ class ObjectStore:
         """
         info = txn.info
         last_done = self.clock.now()
+        # Real-byte pages are packed across object boundaries: each
+        # stripe-sized payload may carry the tail pages of one object
+        # and the head of the next, so a checkpoint's partial stripes
+        # coalesce into one staged write instead of one per object.
+        real_batch: List[Tuple[Dict[int, PageLocator], int, Page]] = []
+
+        def flush_real() -> None:
+            nonlocal last_done, real_batch
+            if not real_batch:
+                return
+            payload = b"".join(page.realize()
+                               for _map, _p, page in real_batch)
+            extent = self.alloc.alloc(len(payload))
+            # Ownership is recorded before the submit so an abort
+            # after a failed write still frees this extent.
+            info.owned_extents.append((extent, len(payload)))
+            self.clock.advance(costs.STORE_ALLOC_EXTENT)
+            done = self.retry.run(
+                lambda: self.device.submit_write(extent, payload),
+                op="store.flush")
+            last_done = max(last_done, done)
+            info.data_bytes += len(payload)
+            for index, (page_map, pindex, _page) in enumerate(real_batch):
+                page_map[pindex] = PageLocator.in_extent(
+                    extent, index * PAGE_SIZE, PAGE_SIZE)
+            real_batch = []
+
         for oid, pages in txn.staged_pages.items():
             page_map = info.pages.setdefault(oid, {})
-            real_batch: List[Tuple[int, Page]] = []
             syn_count = 0
-
-            def flush_real(batch: List[Tuple[int, Page]]) -> None:
-                nonlocal last_done
-                if not batch:
-                    return
-                payload = b"".join(page.realize() for _p, page in batch)
-                extent = self.alloc.alloc(len(payload))
-                # Ownership is recorded before the submit so an abort
-                # after a failed write still frees this extent.
-                info.owned_extents.append((extent, len(payload)))
-                self.clock.advance(costs.STORE_ALLOC_EXTENT)
-                done = self.retry.run(
-                    lambda: self.device.submit_write(extent, payload),
-                    op="store.flush")
-                last_done = max(last_done, done)
-                info.data_bytes += len(payload)
-                for index, (pindex, _page) in enumerate(batch):
-                    page_map[pindex] = PageLocator.in_extent(
-                        extent, index * PAGE_SIZE, PAGE_SIZE)
 
             for pindex in sorted(pages):
                 page = pages[pindex]
@@ -204,11 +217,9 @@ class ObjectStore:
                     page_map[pindex] = PageLocator.synthetic(page.seed)
                     syn_count += 1
                 else:
-                    real_batch.append((pindex, page))
+                    real_batch.append((page_map, pindex, page))
                     if len(real_batch) * PAGE_SIZE >= STRIPE_SIZE:
-                        flush_real(real_batch)
-                        real_batch = []
-            flush_real(real_batch)
+                        flush_real()
 
             # Synthetic pages: identical IO accounting, virtual bytes.
             remaining = syn_count * PAGE_SIZE
@@ -226,13 +237,28 @@ class ObjectStore:
                 last_done = max(last_done, done)
                 info.data_bytes += chunk
                 remaining -= chunk
+        flush_real()
         return last_done
 
     def _write_records(self, txn: CheckpointTxn) -> int:
-        """Write staged object records; returns latest completion time."""
+        """Write staged object records; returns latest completion time.
+
+        Records are staged in :data:`RECORD_BATCH`-sized batch extents
+        (one allocation + one submitted write per batch); every OID in
+        a batch points at the shared extent.  A single staged record
+        keeps the bare per-object envelope, so small checkpoints write
+        byte-identical extents to the pre-batching format.
+        """
         info = txn.info
         last_done = self.clock.now()
-        for oid, payload in txn.staged_records:
+        staged = txn.staged_records
+        for start in range(0, len(staged), RECORD_BATCH):
+            batch = staged[start:start + RECORD_BATCH]
+            if len(batch) == 1:
+                payload = batch[0][1]
+            else:
+                payload = records.encode_objects(
+                    [data for _oid, data in batch])
             extent = self.alloc.alloc(len(payload))
             info.owned_extents.append((extent, len(payload)))
             self.clock.advance(costs.STORE_ALLOC_EXTENT)
@@ -241,7 +267,8 @@ class ObjectStore:
                 lambda: self.device.submit_write(rec_extent, rec_payload),
                 op="store.flush")
             last_done = max(last_done, done)
-            info.object_records[oid] = (extent, len(payload))
+            for oid, _data in batch:
+                info.object_records[oid] = (extent, len(payload))
         return last_done
 
     def _finalize_commit(self, txn: CheckpointTxn) -> None:
@@ -576,21 +603,36 @@ class ObjectStore:
                     target.setdefault(pindex, locator)
         return merged_records, merged_pages
 
-    def read_object_record(self, extent: Tuple[int, int]) -> Tuple[int, str, Any]:
-        """Read + decode one object record extent."""
+    def read_object_record(self, extent: Tuple[int, int],
+                           oid: Optional[int] = None) -> Tuple[int, str, Any]:
+        """Read + decode one object record from a record extent.
+
+        ``oid`` selects the wanted object out of a batch extent; it may
+        be omitted only for extents known to hold a single record.
+        """
         payload = self.retry.run(lambda: self.device.read(extent[0]),
                                  op="store.read")
         if not isinstance(payload, bytes):
             raise CorruptRecord("object record extent holds synthetic data")
-        return records.decode_object(payload)
+        entries = records.decode_objects(payload)
+        if oid is None:
+            if len(entries) != 1:
+                raise CorruptRecord(
+                    f"record extent holds {len(entries)} objects; "
+                    f"an OID is required to select one")
+            return entries[0]
+        for entry in entries:
+            if entry[0] == oid:
+                return entry
+        raise CorruptRecord(f"record OID mismatch for {oid}")
 
     def _decode_record(self, oid: int, payload: Any) -> Tuple[str, Any]:
         if not isinstance(payload, bytes):
             raise CorruptRecord("record extent holds synthetic data")
-        r_oid, otype, state = records.decode_object(payload)
-        if r_oid != oid:
-            raise CorruptRecord(f"record OID mismatch for {oid}")
-        return otype, state
+        for r_oid, otype, state in records.decode_objects(payload):
+            if r_oid == oid:
+                return otype, state
+        raise CorruptRecord(f"record OID mismatch for {oid}")
 
     def record_fallbacks(self, ckpt_id: int,
                          primary: Dict[int, Tuple[int, int]]
@@ -653,19 +695,36 @@ class ObjectStore:
         """
         decoded: Dict[int, Tuple[str, Any]] = {}
         last_done = self.clock.now()
+        # Batched staging means many OIDs share one record extent:
+        # read and decode each distinct extent once, then hand every
+        # resident OID its slice.
+        by_offset: Dict[int, List[Tuple[int, Tuple[int, int]]]] = {}
         for oid, extent in extents.items():
-            payload, done = self.retry.run(
-                lambda: self.device.read_async(extent[0]),
-                op="store.read")
-            last_done = max(last_done, done)
+            by_offset.setdefault(extent[0], []).append((oid, extent))
+        for offset, wanted in by_offset.items():
             try:
-                decoded[oid] = self._decode_record(oid, payload)
+                payload, done = self.retry.run(
+                    lambda: self.device.read_async(offset),
+                    op="store.read")
+                last_done = max(last_done, done)
+                if not isinstance(payload, bytes):
+                    raise CorruptRecord(
+                        "record extent holds synthetic data")
+                entries = {r_oid: (otype, state) for r_oid, otype, state
+                           in records.decode_objects(payload)}
+                for oid, _extent in wanted:
+                    if oid not in entries:
+                        raise CorruptRecord(
+                            f"record OID mismatch for {oid}")
+                for oid, _extent in wanted:
+                    decoded[oid] = entries[oid]
             except CorruptRecord:
                 if fallbacks is None:
                     raise
-                decoded[oid], done = self._read_record_resilient(
-                    oid, extent, fallbacks)
-                last_done = max(last_done, done)
+                for oid, extent in wanted:
+                    decoded[oid], done = self._read_record_resilient(
+                        oid, extent, fallbacks)
+                    last_done = max(last_done, done)
         self.clock.advance_to(last_done)
         return decoded
 

@@ -167,7 +167,7 @@ class SLSFS(Filesystem):
         if NAMESPACE_OID not in record_extents:
             raise RestoreError("slsfs checkpoint lacks a namespace record")
         _oid, otype, namespace = self.store.read_object_record(
-            record_extents[NAMESPACE_OID])
+            record_extents[NAMESPACE_OID], oid=NAMESPACE_OID)
         if otype != "slsfs-namespace":
             raise RestoreError(f"unexpected record type {otype}")
 

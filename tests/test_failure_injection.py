@@ -143,8 +143,11 @@ def test_checkpoint_on_full_store_does_not_corrupt_previous():
     group = sls.attach(proc, periodic=False)
     sls.checkpoint(group, sync=True)
     gid = group.group_id
-    # Dirty far more than the remaining space and try to checkpoint.
-    proc.vmspace.fill(addr + 4 * PAGE_SIZE, 2000, seed=1)
+    # Dirty far more than the remaining space and try to checkpoint:
+    # 2044 pages of data alone exceed the array minus the reserved
+    # superblock region, so the overflow does not depend on metadata
+    # overhead (run-compressed metadata is tiny).
+    proc.vmspace.fill(addr + 4 * PAGE_SIZE, 2044, seed=1)
     with pytest.raises(StoreFull):
         sls.checkpoint(group, sync=True)
     # The first checkpoint still restores after a crash.
