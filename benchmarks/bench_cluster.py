@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Quorum-cluster benchmark: node count × AZ-outage patterns.
+
+Sweeps the cluster layer (:mod:`repro.core.cluster`) over cluster
+sizes and injected outage patterns and reports, per configuration:
+
+* **failover time** — primary crash → standby promoted and restored;
+* **replication cost** — inter-AZ bytes per checkpoint (the quantity
+  cloud-Aurora engineering actually bills for);
+* **repair** — segments rebuilt onto rejoining nodes, with per-segment
+  MTTR p50/max (the window that bounds durability);
+* **data loss** — checkpoints that were quorum-acknowledged but not
+  recovered after failover.  The acceptance criterion: **zero**, in
+  every configuration, including the single-AZ outage.
+
+Outage patterns, injected halfway through the run:
+
+* ``none``  — steady state;
+* ``node``  — one node power-fails;
+* ``az``    — one full availability zone power-fails (the headline
+  Aurora scenario: an AZ outage plus quorum math must cost nothing);
+* ``az+1``  — an AZ *plus* one node of another AZ: below the write
+  quorum, so durability stalls until repair re-establishes copies —
+  still without losing anything acknowledged.
+
+Emits ``BENCH_cluster.json`` at the repo root::
+
+    python benchmarks/bench_cluster.py           # full sweep
+    python benchmarks/bench_cluster.py --smoke   # CI-sized point
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Machine, load_aurora
+from repro.core import telemetry
+from repro.core.cluster import SLSCluster
+from repro.units import PAGE_SIZE
+
+NODE_SWEEP = [3, 6, 9]
+OUTAGES = ["none", "node", "az", "az+1"]
+AZS = 3
+CHECKPOINTS = 10
+SEGMENT_BYTES = 1024
+#: Pages dirtied per step (keeps each delta several segments wide).
+DIRTY_PAGES = 4
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_cluster.json"
+
+
+def _payload(step: int) -> bytes:
+    return b"cluster-step-%04d" % step
+
+
+def _inject_outage(cluster: SLSCluster, outage: str) -> list:
+    """Down the pattern's nodes; returns the node ids taken out."""
+    if outage == "none":
+        return []
+    if outage == "node":
+        cluster.node_down(1, reason="bench")
+        return [1]
+    downed = cluster.az_down(1, reason="bench")
+    if outage == "az+1":
+        victim = next(node.node_id for node in cluster.nodes
+                      if not node.down and node.az != 1)
+        cluster.node_down(victim, reason="bench")
+        downed.append(victim)
+    return downed
+
+
+def run_config(nodes: int, outage: str, checkpoints: int) -> dict:
+    telemetry.reset()
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("bench")
+    addr = proc.vmspace.mmap(16 * PAGE_SIZE, name="heap")
+    group = sls.attach(proc, name="bench", periodic=False)
+    cluster = SLSCluster(sls, group, nodes=nodes, azs=AZS,
+                         segment_bytes=SEGMENT_BYTES)
+
+    step_of = {}
+    downed: list = []
+    outage_at = checkpoints // 2
+    wall_t0 = time.perf_counter()
+    for step in range(checkpoints):
+        if step == outage_at:
+            downed = _inject_outage(cluster, outage)
+        proc.vmspace.write(addr, _payload(step))
+        for page in range(1, DIRTY_PAGES):
+            proc.vmspace.write(addr + page * PAGE_SIZE,
+                               _payload(step) + b":%d" % page)
+        result = sls.checkpoint(group, sync=True)
+        step_of[result.info.ckpt_id] = step
+        cluster.pump()
+    durable_pre_repair = cluster.durable
+    stalled_checkpoints = ((checkpoints - 1)
+                           - step_of[durable_pre_repair])
+
+    for node_id in downed:
+        cluster.node_up(node_id)
+    repair_report = (cluster.repair() if downed
+                     else {"checkpoints": 0, "segments": 0, "targets": 0,
+                           "wall_ns": 0, "mttr_p50_ns": 0,
+                           "mttr_max_ns": 0})
+    acked_step = step_of[cluster.durable]
+
+    machine.crash()
+    promoted = cluster.failover()
+    restored = promoted.root.vmspace.read(addr, len(_payload(0)))
+    restored_step = int(restored.rsplit(b"-", 1)[1])
+    failover_ns = telemetry.registry().histogram(
+        "sls.cluster.failover_ns", group=group.group_id).max
+    wall_s = time.perf_counter() - wall_t0
+
+    return {
+        "nodes": nodes,
+        "azs": AZS,
+        "write_quorum": cluster.write_quorum,
+        "read_quorum": cluster.read_quorum,
+        "outage": outage,
+        "nodes_downed": downed,
+        "checkpoints": checkpoints,
+        "stalled_checkpoints_during_outage": stalled_checkpoints,
+        "acked_step": acked_step,
+        "restored_step": restored_step,
+        "data_loss_checkpoints": acked_step - restored_step,
+        "failover_ns": failover_ns,
+        "inter_az_bytes": cluster.inter_az_bytes,
+        "inter_az_bytes_per_ckpt": cluster.inter_az_bytes // checkpoints,
+        "repair": repair_report,
+        "wall_s": wall_s,
+    }
+
+
+def run_sweep(node_sweep, outages, checkpoints: int) -> dict:
+    rows = []
+    for nodes in node_sweep:
+        for outage in outages:
+            print(f"[cluster] {nodes} nodes / {AZS} AZs, "
+                  f"outage={outage} ...", flush=True)
+            row = run_config(nodes, outage, checkpoints)
+            print(f"[cluster]   durable@step {row['acked_step']}, "
+                  f"restored@step {row['restored_step']}, "
+                  f"loss={row['data_loss_checkpoints']}, "
+                  f"failover={row['failover_ns']}ns, "
+                  f"repaired {row['repair']['segments']} segment(s)",
+                  flush=True)
+            rows.append(row)
+    return {
+        "benchmark": "cluster",
+        "description": "quorum cluster: node count x AZ-outage sweep",
+        "segment_bytes": SEGMENT_BYTES,
+        "results": rows,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized single point (6 nodes, AZ "
+                             "outage) with hard assertions")
+    parser.add_argument("--checkpoints", type=int, default=None)
+    parser.add_argument("--output", type=pathlib.Path, default=JSON_PATH)
+    args = parser.parse_args()
+
+    if args.smoke:
+        node_sweep, outages = [6], ["az"]
+        checkpoints = args.checkpoints or 6
+    else:
+        node_sweep, outages = NODE_SWEEP, OUTAGES
+        checkpoints = args.checkpoints or CHECKPOINTS
+
+    results = run_sweep(node_sweep, outages, checkpoints)
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"[cluster] wrote {args.output}")
+
+    failures = []
+    for row in results["results"]:
+        if row["data_loss_checkpoints"] != 0:
+            failures.append(f"{row['nodes']}n/{row['outage']}: lost "
+                            f"{row['data_loss_checkpoints']} acked "
+                            f"checkpoint(s)")
+        if row["outage"] != "none" and row["repair"]["segments"] == 0:
+            failures.append(f"{row['nodes']}n/{row['outage']}: "
+                            f"repair rebuilt nothing")
+    for failure in failures:
+        print(f"[cluster] FAIL {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

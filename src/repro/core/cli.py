@@ -295,6 +295,78 @@ def cmd_events(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """``sls cluster``: run a quorum-replication campaign and report.
+
+    Boots the image, attaches an N-node / k-AZ quorum cluster to the
+    group, advances it through a fixed number of checkpoints (each
+    pumped to quorum), optionally fails one AZ mid-run and repairs it
+    afterwards, and prints the per-node status table plus quorum and
+    repair summaries.  With ``--failover`` the primary is crashed at
+    the end and the best standby promoted.
+    """
+    from . import telemetry
+    from .cluster import SLSCluster
+
+    machine, sls = _load(args.image)
+    result = _restore_group(sls, args.group)
+    group = result.group
+    proc = result.root
+    heap = next(e for e in proc.vmspace.map if e.name == "heap")
+    addr = heap.start_page * PAGE_SIZE
+    cluster = SLSCluster(sls, group, nodes=args.nodes, azs=args.azs,
+                         segment_bytes=args.segment_bytes)
+    outage_at = (args.checkpoints // 2
+                 if args.az_outage is not None else -1)
+    for step in range(args.checkpoints):
+        if step == outage_at:
+            downed = cluster.az_down(args.az_outage)
+            print(f"AZ {args.az_outage} outage at checkpoint {step}: "
+                  f"nodes {downed} down")
+        proc.vmspace.write(addr, f"cluster:step{step}".encode())
+        machine.run_for(group.period_ns)
+        sls.checkpoint(group, sync=True)
+        cluster.pump()
+    if args.az_outage is not None:
+        raised = cluster.az_up(args.az_outage)
+        print(f"AZ {args.az_outage} healed: nodes {raised} rejoin")
+        if args.repair:
+            report = cluster.repair()
+            print(f"repair: {report['segments']} segment(s) onto "
+                  f"{report['targets']} node(s) in "
+                  f"{fmt_time(report['wall_ns'])} "
+                  f"(segment MTTR p50 {fmt_time(report['mttr_p50_ns'])}"
+                  f", max {fmt_time(report['mttr_max_ns'])})")
+
+    status = cluster.status()
+    print(f"group {status['group']}: {args.nodes} node(s) in "
+          f"{status['azs']} AZ(s), write quorum "
+          f"{status['write_quorum']}, read quorum "
+          f"{status['read_quorum']}")
+    print(f"{'NODE':>4} {'AZ':>3} {'STATE':<9} {'APPLIED':>8} "
+          f"{'LAG':>4} {'STREAMS':>8} {'BYTES':>10}")
+    for row in status["nodes"]:
+        applied = row["applied"] if row["applied"] is not None else "-"
+        print(f"{row['node']:>4} {row['az']:>3} {row['state']:<9} "
+              f"{applied:>8} {row['lag']:>4} {row['streams']:>8} "
+              f"{fmt_size(row['bytes']):>10}")
+    print(f"durable watermark: checkpoint {status['durable']}; "
+          f"quorum lag p50 {fmt_time(status['quorum_lag_p50_ns'])}; "
+          f"inter-AZ traffic {status['inter_az_pretty']}")
+
+    if args.failover:
+        machine.crash()
+        cluster.failover()
+        failover_ns = telemetry.registry().histogram(
+            "sls.cluster.failover_ns",
+            group=group.group_id).max
+        print(f"primary crashed; standby promoted at checkpoint "
+              f"{cluster.durable} in {fmt_time(failover_ns)}")
+        return 0
+    _save_image(machine, args.image)
+    return 0
+
+
 def cmd_slo(args) -> int:
     """``sls slo``: RPO-lag / stop-time budget compliance report."""
     from . import slo as slo_mod
@@ -321,9 +393,13 @@ def cmd_slo(args) -> int:
         print(f"group {row['group']}: {row['commits']} durable commit(s); "
               f"targets rpo<{fmt_time(row['rpo_target_ns'])} "
               f"stop<{fmt_time(row['stop_target_ns'])}")
-        for series in ("rpo_lag", "stop", "e2e"):
+        for series in ("rpo_lag", "stop", "e2e", "quorum_lag",
+                       "failover", "repair_mttr"):
             s = row[series]
-            print(f"  {series:<8} n={s['count']:<4} "
+            if s["count"] == 0 and series in ("quorum_lag", "failover",
+                                              "repair_mttr"):
+                continue  # no cluster attached to this run
+            print(f"  {series:<11} n={s['count']:<4} "
                   f"p50 {fmt_time(s['p50']):>12} "
                   f"p95 {fmt_time(s['p95']):>12} "
                   f"p99 {fmt_time(s['p99']):>12} "
@@ -638,6 +714,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=0,
                    help="only show the newest N events")
     p.set_defaults(func=cmd_events)
+
+    p = sub.add_parser("cluster", help="quorum-replicated cluster status")
+    p.add_argument("image")
+    p.add_argument("group", type=int)
+    p.add_argument("--nodes", type=int, default=6,
+                   help="replica nodes (default 6)")
+    p.add_argument("--azs", type=int, default=3,
+                   help="availability zones (default 3)")
+    p.add_argument("--checkpoints", type=int, default=10,
+                   help="checkpoints to run and replicate (default 10)")
+    p.add_argument("--segment-bytes", type=int, default=4 * KiB,
+                   help="segment size for sharded streams")
+    p.add_argument("--az-outage", type=int, default=None, metavar="AZ",
+                   help="fail this AZ halfway through the run")
+    p.add_argument("--repair", action="store_true",
+                   help="segment-repair rejoining nodes after the outage")
+    p.add_argument("--failover", action="store_true",
+                   help="crash the primary at the end and promote a "
+                        "standby (image is left untouched)")
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("slo", help="RPO / stop-time SLO compliance")
     p.add_argument("image")

@@ -1,0 +1,862 @@
+"""Quorum-replicated SLS cluster: N segment copies across simulated
+availability zones.
+
+The single :class:`~repro.core.replication.ReplicationLink` gives
+Aurora one standby; this module grows it into the cloud-Aurora
+durability story (SNIPPETS.md snippets 2–3): every committed
+checkpoint delta is sharded into segments
+(:mod:`repro.core.segments`), shipped to ``N`` replica nodes spread
+round-robin over ``azs`` availability zones, and acknowledged as
+*durable* only once a **write quorum** (default 4 of 6) holds the
+complete delta on media.  Recovery and reads need only a **read
+quorum** (default 3 of 6): ``W + R > N`` guarantees every read quorum
+intersects every write quorum, so any R survivors contain at least one
+complete copy of everything ever acknowledged.
+
+The protocol, made enumerable for the crash-schedule explorer by
+:meth:`~repro.core.faults.FaultPlan.on_repl` boundaries:
+
+* ``ship``    — the delta is about to leave the primary for a node.
+* ``deliver`` — the stream reached the node, not yet on its media.
+* ``apply``   — the node committed the delta (its superblock flipped);
+  the copy now survives that node's power loss.
+* ``ack``     — the primary registered the node's acknowledgement;
+  quorum accounting advances here.
+* ``repair``  — one segment was rebuilt onto a repair target.
+
+Durability is defined by *media*, not bookkeeping: a checkpoint is
+quorum-durable the instant the W-th node's apply commits.  Recovery
+(:meth:`SLSCluster.recover`) reboots reachable nodes, counts complete
+copies, picks the newest checkpoint whose copy count proves a write
+quorum, truncates every replica's non-quorum tail
+(:meth:`~repro.objstore.store.ObjectStore.truncate_checkpoint` — the
+Aurora-style discard of writes that never reached quorum), and
+restores from any holder.  Failover (:meth:`SLSCluster.failover`)
+refuses to promote a node whose applied history trails the
+quorum-durable watermark (:class:`~repro.errors.StaleReplica`).
+
+Repair (:meth:`SLSCluster.repair`) is segment-parallel: targets
+rebuild concurrently, each target's segments stream sequentially from
+surviving holders (round-robin across donors), and per-segment MTTR —
+the quantity that actually bounds durability — lands in the
+``sls.cluster.repair.segment_mttr`` histogram and the SLO tracker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..errors import ClusterError, QuorumLost, RetriesExhausted, SLSError, \
+    StaleReplica
+from ..machine import Machine
+from ..units import USEC, fmt_size
+from . import events, migration, telemetry
+from .faults import FaultPlan
+from .group import ConsistencyGroup
+from .orchestrator import Orchestrator, load_aurora
+from .replication import ReplicationLink
+from .resilience import PeerHealth, RetryPolicy
+from .restore import RestoreResult
+from .segments import (DEFAULT_PROTECTION_GROUPS, DEFAULT_SEGMENT_BYTES,
+                       ProtectionGroupLayout, ShardManifest, assemble,
+                       shard_stream)
+
+#: Replication/quorum boundary names (``FaultPlan.on_repl``).
+B_SHIP = "ship"
+B_DELIVER = "deliver"
+B_APPLY = "apply"
+B_ACK = "ack"
+B_REPAIR = "repair"
+
+#: Replica-checkpoint name prefix: ``repl-<primary ckpt id>``.  The
+#: mapping from primary to node-local checkpoint ids must survive a
+#: node reboot, and checkpoint names are the one piece of metadata
+#: that already does.
+REPL_NAME_PREFIX = "repl-"
+
+#: Fixed per-segment rebuild overhead (scheduling + media write) on
+#: top of the wire time — keeps segment MTTR nonzero even for tiny
+#: simulated segments.
+SEGMENT_REBUILD_COST_NS = 50 * USEC
+
+
+class ClusterNode:
+    """One replica node: its own machine, store, and volatile caches."""
+
+    def __init__(self, node_id: int, az: int, group_id: int):
+        self.node_id = node_id
+        self.az = az
+        self.group_id = group_id
+        self.machine = Machine()
+        self.sls: Orchestrator = load_aurora(self.machine)
+        self.down = False
+        #: Primary checkpoint id -> node-local checkpoint id, for
+        #: every delta this node holds complete on media.
+        self.applied: Dict[int, int] = {}
+        #: Volatile segment cache: primary ckpt -> (manifest,
+        #: payloads).  Dies with the node's power; repair falls back
+        #: to re-serializing from the node's store.
+        self.shards: Dict[int, Tuple[ShardManifest, List[bytes]]] = {}
+
+    @property
+    def applied_max(self) -> Optional[int]:
+        """Newest primary checkpoint this node holds (None = none)."""
+        return max(self.applied) if self.applied else None
+
+    def apply(self, primary_ckpt: int, stream: bytes) -> int:
+        """Commit one delta stream to this node's media."""
+        local = migration.recv_checkpoint(
+            self.sls, stream, name=f"{REPL_NAME_PREFIX}{primary_ckpt}")
+        self.applied[primary_ckpt] = local
+        return local
+
+    def crash(self) -> None:
+        """Power failure: volatile caches die, media survives."""
+        if self.down:
+            return
+        self.machine.crash()
+        self.down = True
+        self.applied = {}
+        self.shards = {}
+
+    def reboot(self) -> None:
+        """Bring the node back; recover its store and rediscover
+        which primary checkpoints its media holds."""
+        if not self.down:
+            return
+        self.machine.boot()
+        self.sls = load_aurora(self.machine)
+        self.down = False
+        self.rescan()
+
+    def wipe(self) -> None:
+        """Total loss of the node's media: a blank replacement node
+        takes over the slot (repair must rebuild everything)."""
+        self.machine = Machine()
+        self.sls = load_aurora(self.machine)
+        self.down = False
+        self.applied = {}
+        self.shards = {}
+
+    def rescan(self) -> None:
+        """Rebuild the primary→local checkpoint map from the store
+        (checkpoint names encode the primary id)."""
+        self.applied = {}
+        for info in self.sls.store.checkpoints_for(self.group_id):
+            if not info.name.startswith(REPL_NAME_PREFIX):
+                continue
+            try:
+                primary_ckpt = int(info.name[len(REPL_NAME_PREFIX):])
+            except ValueError:
+                continue
+            self.applied[primary_ckpt] = info.ckpt_id
+
+    def truncate_above(self, durable: int) -> List[int]:
+        """Discard every local checkpoint newer than the quorum
+        watermark (newest first — only childless checkpoints may be
+        truncated).  Returns the primary ids discarded."""
+        doomed = sorted((c for c in self.applied if c > durable),
+                        reverse=True)
+        for primary_ckpt in doomed:
+            local = self.applied.pop(primary_ckpt)
+            self.sls.store.truncate_checkpoint(local)
+            self.shards.pop(primary_ckpt, None)
+        return doomed
+
+    def __repr__(self) -> str:
+        state = "down" if self.down else f"applied<={self.applied_max}"
+        return f"ClusterNode(#{self.node_id} az{self.az} {state})"
+
+
+class SegmentedLink(ReplicationLink):
+    """One primary→node leg of the cluster.
+
+    Reuses :class:`ReplicationLink`'s retry policy, outage accounting
+    (``down_since``), stats and events; shipping is overridden to go
+    checkpoint-by-checkpoint through the cluster's canonical shard
+    manifests, crossing the ``on_repl`` quorum boundaries.
+    """
+
+    def __init__(self, cluster: "SLSCluster", node: ClusterNode,
+                 group: ConsistencyGroup):
+        super().__init__(cluster.primary, node.sls, group)
+        self.cluster = cluster
+        self.node = node
+        # A per-node seed keeps backoff jitter independent across legs.
+        self.retry = RetryPolicy(
+            cluster.primary.machine.clock,
+            seed=0x11A6 ^ group.group_id ^ (node.node_id << 8),
+            op=f"cluster.ship.n{node.node_id}")
+
+    def _plan(self) -> Optional[FaultPlan]:
+        plan: Optional[FaultPlan] = getattr(self.src_sls.machine,
+                                            "fault_plan", None)
+        return plan
+
+    def _ship_ckpt(self, ckpt_id: int) -> None:
+        """One connect + send + apply attempt for one checkpoint."""
+        cluster = self.cluster
+        node = self.node
+        plan = self._plan()
+        if plan is not None:
+            plan.on_repl(node.node_id, B_SHIP)
+            plan.on_link()
+        manifest, payloads = cluster.shards_for(ckpt_id)
+        # The whole delta crosses the fabric to this node; wire time
+        # is charged on the primary's clock like any ``sls send``.
+        wire = self.src_sls.machine.nic.send(manifest.total_bytes)
+        self._clock().advance(wire)
+        self.stats["streams"] += 1
+        self.stats["bytes"] += manifest.total_bytes
+        cluster.account_transfer(cluster.primary_az, node.az,
+                                 manifest.total_bytes)
+        if plan is not None:
+            plan.on_repl(node.node_id, B_DELIVER)
+        stream = assemble(manifest,
+                          {meta.index: payloads[meta.index]
+                           for meta in manifest.segments})
+        node.apply(ckpt_id, stream)
+        node.shards[ckpt_id] = (manifest, payloads)
+        if plan is not None:
+            plan.on_repl(node.node_id, B_APPLY)
+
+    def ship_checkpoint(self, ckpt_id: int) -> bool:
+        """Ship one checkpoint to this node; True once it is on the
+        node's media, False when the leg is down (the next pump round
+        retries)."""
+        now = self._clock().now()
+        try:
+            self.retry.run(lambda: self._ship_ckpt(ckpt_id))
+        except RetriesExhausted as exc:
+            if self.down_since is None:
+                self.down_since = now
+                self.stats["outages"] += 1
+                events.emit(self._clock().now(), events.LINK_DOWN,
+                            group=self.group.group_id,
+                            node=self.node.node_id,
+                            error=f"{type(exc).__name__}: {exc}")
+                telemetry.registry().counter(
+                    "sls.replication.outages",
+                    group=self.group.group_id).add(1)
+            return False
+        self._mark_link_up()
+        self.last_shipped = ckpt_id
+        return True
+
+
+class ClusterRecovery:
+    """What :meth:`SLSCluster.recover` established."""
+
+    def __init__(self, durable: int, donor: ClusterNode,
+                 result: RestoreResult, truncated: List[Tuple[int, int]],
+                 available: int):
+        #: The quorum-durable primary checkpoint recovery settled on.
+        self.durable = durable
+        self.donor = donor
+        self.result = result
+        #: ``(node_id, primary_ckpt)`` pairs discarded as non-quorum
+        #: tail.
+        self.truncated = truncated
+        self.available = available
+
+    def __repr__(self) -> str:
+        return (f"ClusterRecovery(ckpt={self.durable} "
+                f"donor=#{self.donor.node_id} "
+                f"truncated={len(self.truncated)})")
+
+
+class SLSCluster:
+    """The cluster control plane: quorum replication, recovery,
+    failover and segment repair for one consistency group."""
+
+    def __init__(self, primary: Orchestrator, group: ConsistencyGroup,
+                 nodes: int = 6, azs: int = 3,
+                 write_quorum: Optional[int] = None,
+                 read_quorum: Optional[int] = None,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 npgs: int = DEFAULT_PROTECTION_GROUPS,
+                 primary_az: int = 0):
+        if nodes < 1:
+            raise ClusterError(f"a cluster needs nodes, got {nodes}")
+        if azs < 1 or azs > nodes:
+            raise ClusterError(f"bad AZ count {azs} for {nodes} nodes")
+        self.primary = primary
+        self.group = group
+        self.gid = group.group_id
+        self.n = nodes
+        self.azs = azs
+        self.write_quorum = write_quorum or nodes // 2 + 1
+        self.read_quorum = read_quorum or nodes - self.write_quorum + 1
+        if self.write_quorum + self.read_quorum <= nodes:
+            raise ClusterError(
+                f"quorums must intersect: W={self.write_quorum} + "
+                f"R={self.read_quorum} <= N={nodes}")
+        if self.write_quorum > nodes:
+            raise ClusterError(f"write quorum {self.write_quorum} "
+                               f"exceeds cluster size {nodes}")
+        self.primary_az = primary_az
+        self.segment_bytes = segment_bytes
+        self.layout = ProtectionGroupLayout(npgs)
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(i, az=i % azs, group_id=self.gid)
+            for i in range(nodes)]
+        self.links: List[SegmentedLink] = [
+            SegmentedLink(self, node, group) for node in self.nodes]
+        self.health: List[PeerHealth] = [PeerHealth()
+                                         for _ in range(nodes)]
+        #: Quorum-durable watermark: newest primary checkpoint with a
+        #: registered write quorum of acknowledgements.
+        self.durable: Optional[int] = None
+        self.acks: Dict[int, Set[int]] = {}
+        self.inter_az_bytes = 0
+        self.stats: Dict[str, int] = {
+            "pumps": 0, "acks": 0, "failovers": 0,
+            "segments_repaired": 0, "ckpts_replicated": 0}
+        #: Canonical per-checkpoint shard cache (primary memory).
+        self._streams: Dict[int, Tuple[ShardManifest, List[bytes]]] = {}
+        self._commit_seen: Dict[int, int] = {}
+        self._installed = False
+        self._pumping = False
+        self._timer: Any = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _clock(self) -> Any:
+        """The reference clock (the primary machine's — it keeps
+        counting across crashes)."""
+        return self.primary.machine.clock
+
+    def _plan(self) -> Optional[FaultPlan]:
+        return getattr(self.primary.machine, "fault_plan", None)
+
+    def account_transfer(self, src_az: int, dst_az: int,
+                         nbytes: int) -> None:
+        """Byte accounting for one replication/repair transfer."""
+        telemetry.registry().counter("sls.cluster.repl_bytes",
+                                     group=self.gid).add(nbytes)
+        if src_az != dst_az:
+            self.inter_az_bytes += nbytes
+            telemetry.registry().counter("sls.cluster.inter_az_bytes",
+                                         group=self.gid).add(nbytes)
+
+    def shards_for(self, ckpt_id: int
+                   ) -> Tuple[ShardManifest, List[bytes]]:
+        """The canonical sharded delta of one primary checkpoint
+        (serialized once, memoized)."""
+        cached = self._streams.get(ckpt_id)
+        if cached is None:
+            info = self.primary.store.get_checkpoint(ckpt_id)
+            stream = migration.send_checkpoint(self.primary, self.gid,
+                                               ckpt_id=ckpt_id,
+                                               since=info.parent)
+            cached = shard_stream(self.gid, ckpt_id, stream,
+                                  self.segment_bytes)
+            self._streams[ckpt_id] = cached
+        return cached
+
+    def up_nodes(self) -> List[ClusterNode]:
+        return [node for node in self.nodes if not node.down]
+
+    # -- the quorum pump ---------------------------------------------------
+
+    def pump(self) -> Optional[int]:
+        """Replicate every committed-but-unreplicated checkpoint to
+        every reachable node, in order, advancing the durable
+        watermark the moment a write quorum holds each one.  Returns
+        the watermark.
+
+        A node crash injected at a replication boundary
+        (:class:`~repro.core.faults.InjectedNodeCrash`) downs that
+        node and the pump carries on — the quorum, not any single
+        node, is the availability unit.  An injected *primary* crash
+        propagates to the harness.
+        """
+        if self._pumping:
+            return self.durable
+        self._pumping = True
+        try:
+            return self._pump()
+        finally:
+            self._pumping = False
+
+    def _pump(self) -> Optional[int]:
+        from .faults import InjectedNodeCrash
+        self.stats["pumps"] += 1
+        chain = self.primary.store.checkpoints_for(self.gid)
+        clock = self._clock()
+        for info in chain:
+            ckpt = info.ckpt_id
+            self._commit_seen.setdefault(ckpt, clock.now())
+            acks = self.acks.setdefault(ckpt, set())
+            for node, link, health in zip(self.nodes, self.links,
+                                          self.health):
+                if node.down:
+                    continue
+                if ckpt in node.applied:
+                    # Already on this node's media (possibly
+                    # rediscovered after a reboot): (re-)register.
+                    if node.node_id not in acks:
+                        acks.add(node.node_id)
+                        self._maybe_advance(ckpt)
+                    continue
+                if info.parent is not None \
+                        and info.parent in self.acks \
+                        and info.parent not in node.applied:
+                    # The node is missing this delta's baseline;
+                    # earlier chain entries (or repair) must land
+                    # first so its local chain stays well-parented.
+                    continue
+                if not health.should_attempt():
+                    continue
+                plan = self._plan()
+                try:
+                    shipped = link.ship_checkpoint(ckpt)
+                    if shipped and plan is not None:
+                        plan.on_repl(node.node_id, B_ACK)
+                except InjectedNodeCrash as exc:
+                    self.node_down(exc.node, reason="fault")
+                    continue
+                if shipped:
+                    health.record_success()
+                    acks.add(node.node_id)
+                    self.stats["acks"] += 1
+                    self._maybe_advance(ckpt)
+                else:
+                    health.record_failure(clock.now())
+        if chain and (self.durable is None
+                      or self.durable < chain[-1].ckpt_id):
+            newest = chain[-1].ckpt_id
+            events.emit(clock.now(), events.QUORUM_STALL,
+                        group=self.gid, ckpt=newest,
+                        acks=len(self.acks.get(newest, ())),
+                        needed=self.write_quorum)
+            telemetry.registry().counter("sls.cluster.quorum_stalls",
+                                         group=self.gid).add(1)
+        return self.durable
+
+    def _maybe_advance(self, ckpt: int) -> None:
+        if len(self.acks.get(ckpt, ())) < self.write_quorum:
+            return
+        if self.durable is not None and ckpt <= self.durable:
+            return
+        clock = self._clock()
+        self.durable = ckpt
+        self.stats["ckpts_replicated"] += 1
+        lag = clock.now() - self._commit_seen.get(ckpt, clock.now())
+        events.emit(clock.now(), events.QUORUM_ACK, group=self.gid,
+                    ckpt=ckpt, acks=len(self.acks[ckpt]),
+                    lag_ns=lag)
+        telemetry.registry().histogram("sls.cluster.quorum_lag",
+                                       group=self.gid).observe(lag)
+        self.primary.slo.on_quorum_ack(self.gid, lag)
+
+    # -- continuous operation ---------------------------------------------
+
+    def install(self) -> None:
+        """Pump automatically: synchronously after every sync commit
+        (orchestrator commit hook) and on the checkpoint cadence for
+        async commits (timer, like ``ReplicationLink.install``)."""
+        if self._installed:
+            return
+        self._installed = True
+        self.primary.commit_hooks.append(self._on_commit)
+        loop = self.primary.machine.loop
+
+        def pump_tick() -> None:
+            if not self._installed or not self.group.attached:
+                return
+            self.pump()
+            self._timer = loop.call_after(self.group.period_ns,
+                                          pump_tick)
+
+        self._timer = loop.call_after(
+            self.group.period_ns + self.group.period_ns // 2, pump_tick)
+
+    def _on_commit(self, group: ConsistencyGroup, info: Any) -> None:
+        if group.group_id == self.gid:
+            self.pump()
+
+    def stop(self) -> None:
+        """Cease pumping (nodes keep what they have)."""
+        self._installed = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        try:
+            self.primary.commit_hooks.remove(self._on_commit)
+        except ValueError:
+            pass
+
+    # -- membership / outages ----------------------------------------------
+
+    def node_down(self, node_id: int, reason: str = "operator") -> None:
+        """Power-fail one node (its media survives for a reboot)."""
+        node = self.nodes[node_id]
+        if node.down:
+            return
+        node.crash()
+        events.emit(self._clock().now(), events.NODE_DOWN,
+                    group=self.gid, node=node_id, az=node.az,
+                    reason=reason)
+        telemetry.registry().counter("sls.cluster.node_down",
+                                     group=self.gid).add(1)
+
+    def node_up(self, node_id: int) -> None:
+        """Reboot one node; it rejoins with whatever its media held."""
+        node = self.nodes[node_id]
+        if not node.down:
+            return
+        node.reboot()
+        self.links[node_id].dst_sls = node.sls
+        self.health[node_id] = PeerHealth()
+        events.emit(self._clock().now(), events.NODE_UP,
+                    group=self.gid, node=node_id, az=node.az,
+                    applied=node.applied_max)
+
+    def az_down(self, az: int, reason: str = "az-outage") -> List[int]:
+        """Power-fail every node in one availability zone."""
+        downed = [node.node_id for node in self.nodes
+                  if node.az == az and not node.down]
+        for node_id in downed:
+            self.node_down(node_id, reason=reason)
+        return downed
+
+    def az_up(self, az: int) -> List[int]:
+        """Reboot every node in one availability zone."""
+        raised = [node.node_id for node in self.nodes
+                  if node.az == az and node.down]
+        for node_id in raised:
+            self.node_up(node_id)
+        return raised
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self, node_ids: Optional[List[int]] = None,
+                reboot: bool = True) -> ClusterRecovery:
+        """The primary is gone: settle the cluster on its
+        quorum-durable state and restore the application from replica
+        media.
+
+        ``node_ids`` limits recovery to a subset of nodes (the rest
+        count as unreachable); any read quorum suffices.  Reachable
+        down nodes are rebooted first (their media survived).  The
+        newest checkpoint whose visible copy count proves a write
+        quorum becomes the watermark; every replica's tail beyond it
+        is truncated — a checkpoint that never reached quorum is
+        discarded everywhere, never partially visible.
+        """
+        selected = (self.nodes if node_ids is None
+                    else [self.nodes[i] for i in node_ids])
+        available: List[ClusterNode] = []
+        for node in selected:
+            if node.down:
+                if not reboot:
+                    continue
+                node.reboot()
+                self.links[node.node_id].dst_sls = node.sls
+            available.append(node)
+        if len(available) < self.read_quorum:
+            raise QuorumLost(
+                f"{len(available)} nodes reachable, read quorum is "
+                f"{self.read_quorum}")
+        counts: Dict[int, int] = {}
+        for node in available:
+            for ckpt in node.applied:
+                counts[ckpt] = counts.get(ckpt, 0) + 1
+        # With k members unreachable, a quorum-durable checkpoint (W
+        # copies total) shows at least W - k copies here; quorum
+        # intersection makes the threshold at least 1 for any read
+        # quorum.  With every member visible this is exactly "W copies
+        # on media" — the crash-schedule oracle.
+        missing = self.n - len(available)
+        threshold = max(1, self.write_quorum - missing)
+        durable = max((ckpt for ckpt, have in counts.items()
+                       if have >= threshold), default=None)
+        if durable is None:
+            raise QuorumLost(
+                f"no checkpoint reaches the quorum threshold "
+                f"({threshold} of {len(available)} reachable copies)")
+        truncated: List[Tuple[int, int]] = []
+        for node in available:
+            for ckpt in node.truncate_above(durable):
+                truncated.append((node.node_id, ckpt))
+        if truncated:
+            events.emit(self._clock().now(), events.TAIL_TRUNCATE,
+                        group=self.gid, ckpt=durable,
+                        discarded=len(truncated))
+            telemetry.registry().counter(
+                "sls.cluster.tail_truncated",
+                group=self.gid).add(len(truncated))
+        self.durable = durable
+        donor = next(node for node in available
+                     if durable in node.applied)
+        result = donor.sls.restore(self.gid,
+                                   ckpt_id=donor.applied[durable],
+                                   periodic=False)
+        return ClusterRecovery(durable, donor, result, truncated,
+                               len(available))
+
+    # -- failover ----------------------------------------------------------
+
+    def failover(self, force: bool = False) -> RestoreResult:
+        """Promote the best-caught-up reachable node to primary.
+
+        Requires a read quorum of reachable nodes and an established
+        durable watermark; delegates the stale check to
+        :meth:`promote`.
+        """
+        up = self.up_nodes()
+        if len(up) < self.read_quorum:
+            raise QuorumLost(
+                f"{len(up)} nodes up, read quorum is "
+                f"{self.read_quorum}")
+        if self.durable is None:
+            raise SLSError("nothing was ever quorum-acknowledged")
+        candidate = max(
+            up, key=lambda node: (node.applied_max is not None,
+                                  node.applied_max or -1,
+                                  -node.node_id))
+        return self.promote(candidate.node_id, force=force)
+
+    def promote(self, node_id: int, force: bool = False) -> RestoreResult:
+        """Promote one node; refuses a stale quorum view.
+
+        A node that never applied the quorum-durable watermark would
+        silently roll back acknowledged state if promoted —
+        :class:`~repro.errors.StaleReplica` unless ``force`` (operator
+        accepts the loss).  The promoted node's own non-quorum tail is
+        truncated first so the new history never forks from
+        unacknowledged writes.
+        """
+        node = self.nodes[node_id]
+        if node.down:
+            raise ClusterError(f"node {node_id} is down")
+        durable = self.durable
+        if durable is None:
+            raise SLSError("nothing was ever quorum-acknowledged")
+        if durable not in node.applied:
+            if not force:
+                raise StaleReplica(
+                    f"node {node_id} applied up to {node.applied_max}, "
+                    f"quorum watermark is {durable}: promoting it "
+                    f"would roll back acknowledged state")
+            target = node.applied_max
+            if target is None:
+                raise StaleReplica(
+                    f"node {node_id} holds nothing to promote")
+            durable = target
+        started = node.machine.clock.now()
+        node.truncate_above(durable)
+        result = node.sls.restore(self.gid,
+                                  ckpt_id=node.applied[durable],
+                                  periodic=False)
+        failover_ns = node.machine.clock.now() - started
+        self.stats["failovers"] += 1
+        events.emit(self._clock().now(), events.PROMOTE, group=self.gid,
+                    node=node_id, ckpt=durable,
+                    failover_ns=failover_ns)
+        telemetry.registry().histogram(
+            "sls.cluster.failover_ns",
+            group=self.gid).observe(failover_ns)
+        self.primary.slo.on_failover(self.gid, failover_ns)
+        return result
+
+    # -- repair ------------------------------------------------------------
+
+    def repair(self) -> Dict[str, Any]:
+        """Segment-parallel re-replication of every missing copy.
+
+        Targets rebuild concurrently; within a target, segments
+        stream sequentially from the surviving holders (round-robin
+        across donors, manifest-checksum verified).  Wall time is the
+        slowest target's queue; per-segment MTTR (repair start →
+        segment landed) feeds the ``repair.segment_mttr`` histogram
+        and SLO budget.  Returns the repair report.
+        """
+        from .faults import InjectedNodeCrash
+        clock = self._clock()
+        registry = telemetry.registry()
+        hist = registry.histogram("sls.cluster.repair.segment_mttr",
+                                  group=self.gid)
+        per_target_ns: Dict[int, int] = {}
+        segments_done = 0
+        ckpts_done = 0
+        ckpts = sorted({ckpt for node in self.up_nodes()
+                        for ckpt in node.applied})
+        for ckpt in ckpts:
+            holders = [node for node in self.up_nodes()
+                       if ckpt in node.applied]
+            if not holders:
+                continue
+            for target in list(self.up_nodes()):
+                if ckpt in target.applied:
+                    continue
+                if not self._chain_ready(target, ckpt):
+                    continue
+                try:
+                    elapsed, nsegs = self._repair_one(
+                        target, ckpt, holders,
+                        per_target_ns.get(target.node_id, 0), hist)
+                except InjectedNodeCrash as exc:
+                    self.node_down(exc.node, reason="fault")
+                    continue
+                per_target_ns[target.node_id] = elapsed
+                segments_done += nsegs
+                ckpts_done += 1
+                acks = self.acks.setdefault(ckpt, set())
+                acks.add(target.node_id)
+                self._maybe_advance(ckpt)
+        wall_ns = max(per_target_ns.values(), default=0)
+        clock.advance(wall_ns)
+        report = {
+            "checkpoints": ckpts_done,
+            "segments": segments_done,
+            "targets": len(per_target_ns),
+            "wall_ns": wall_ns,
+            "mttr_p50_ns": hist.percentile(50),
+            "mttr_max_ns": hist.percentile(100),
+        }
+        self.stats["segments_repaired"] += segments_done
+        events.emit(clock.now(), events.REPAIR_DONE, group=self.gid,
+                    **report)
+        registry.counter("sls.cluster.segments_repaired",
+                         group=self.gid).add(segments_done)
+        return report
+
+    def _chain_ready(self, target: ClusterNode, ckpt: int) -> bool:
+        """Whether ``target`` holds the delta's baseline (repair walks
+        checkpoints oldest-first, so earlier iterations fill it)."""
+        for holder in self.up_nodes():
+            if ckpt not in holder.applied:
+                continue
+            info = holder.sls.store.get_checkpoint(
+                holder.applied[ckpt])
+            if info.parent is None:
+                return True
+            break
+        parents = [c for node in self.up_nodes()
+                   for c in node.applied if c < ckpt]
+        if not parents:
+            return True
+        return max(parents) in target.applied
+
+    def _repair_one(self, target: ClusterNode, ckpt: int,
+                    holders: List[ClusterNode], queue_ns: int,
+                    hist: Any) -> Tuple[int, int]:
+        """Rebuild one checkpoint's segments onto one target; returns
+        the target's updated queue time and the segment count."""
+        plan = self._plan()
+        manifest, payloads = self._segments_from(holders, ckpt)
+        gathered: Dict[int, bytes] = {}
+        elapsed = queue_ns
+        for meta in manifest.segments:
+            if plan is not None:
+                plan.on_repl(target.node_id, B_REPAIR)
+            donor = holders[meta.index % len(holders)]
+            payload = payloads[meta.index]
+            meta.verify(payload)
+            gathered[meta.index] = payload
+            elapsed += (target.machine.nic.transfer_time(
+                max(meta.length, 1)) + SEGMENT_REBUILD_COST_NS)
+            self.account_transfer(donor.az, target.az, meta.length)
+            hist.observe(elapsed)
+            self.primary.slo.on_repair_segment(self.gid, elapsed)
+        stream = assemble(manifest, gathered)
+        target.apply(ckpt, stream)
+        target.shards[ckpt] = (manifest, payloads)
+        events.emit(self._clock().now(), events.SEGMENT_REPAIRED,
+                    group=self.gid, node=target.node_id, ckpt=ckpt,
+                    segments=len(manifest.segments),
+                    pgs=self.layout.npgs)
+        return elapsed, len(manifest.segments)
+
+    def _segments_from(self, holders: List[ClusterNode], ckpt: int
+                       ) -> Tuple[ShardManifest, List[bytes]]:
+        """A canonical shard set for one checkpoint, from any holder's
+        volatile cache — or re-serialized from a holder's store when
+        every cache died with its node."""
+        for holder in holders:
+            cached = holder.shards.get(ckpt)
+            if cached is not None:
+                return cached
+        holder = holders[0]
+        local = holder.applied[ckpt]
+        info = holder.sls.store.get_checkpoint(local)
+        stream = migration.send_checkpoint(holder.sls, self.gid,
+                                           ckpt_id=local,
+                                           since=info.parent)
+        sharded = shard_stream(self.gid, ckpt, stream,
+                               self.segment_bytes)
+        holder.shards[ckpt] = sharded
+        return sharded
+
+    # -- audit / reporting -------------------------------------------------
+
+    def verify(self) -> Dict[str, Any]:
+        """Full-replication and checksum audit over the up nodes."""
+        up = self.up_nodes()
+        ckpts = sorted({ckpt for node in up for ckpt in node.applied})
+        copies = {ckpt: sum(1 for node in up if ckpt in node.applied)
+                  for ckpt in ckpts}
+        fully = all(have == len(up) for have in copies.values())
+        verified = 0
+        for node in up:
+            for ckpt, (manifest, payloads) in node.shards.items():
+                assemble(manifest, {meta.index: payloads[meta.index]
+                                    for meta in manifest.segments})
+                verified += len(manifest.segments)
+        return {
+            "checkpoints": len(ckpts),
+            "copies": copies,
+            "nodes_up": len(up),
+            "fully_replicated": fully,
+            "segments_verified": verified,
+            "durable": self.durable,
+        }
+
+    def status(self) -> Dict[str, Any]:
+        """The ``sls cluster`` payload."""
+        registry = telemetry.registry()
+        rows = []
+        for node, link, health in zip(self.nodes, self.links,
+                                      self.health):
+            rows.append({
+                "node": node.node_id,
+                "az": node.az,
+                "state": ("down" if node.down
+                          else ("degraded" if health.degraded
+                                else "up")),
+                "applied": node.applied_max,
+                "lag": (0 if self.durable is None
+                        or node.applied_max is None
+                        else max(0, len([c for c in self.acks
+                                         if c <= self.durable
+                                         and c not in node.applied]))),
+                "streams": link.stats["streams"],
+                "bytes": link.stats["bytes"],
+            })
+        return {
+            "group": self.gid,
+            "nodes": rows,
+            "azs": self.azs,
+            "write_quorum": self.write_quorum,
+            "read_quorum": self.read_quorum,
+            "durable": self.durable,
+            "inter_az_bytes": self.inter_az_bytes,
+            "inter_az_pretty": fmt_size(self.inter_az_bytes),
+            "protection_groups": self.layout.npgs,
+            "segment_bytes": self.segment_bytes,
+            "quorum_lag_p50_ns": registry.histogram(
+                "sls.cluster.quorum_lag",
+                group=self.gid).percentile(50),
+            "repair_mttr_p50_ns": registry.histogram(
+                "sls.cluster.repair.segment_mttr",
+                group=self.gid).percentile(50),
+            "stats": dict(self.stats),
+        }
+
+    def __repr__(self) -> str:
+        up = len(self.up_nodes())
+        return (f"SLSCluster(group={self.gid}, {up}/{self.n} up, "
+                f"W={self.write_quorum}/R={self.read_quorum}, "
+                f"durable={self.durable})")

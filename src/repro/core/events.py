@@ -46,6 +46,14 @@ GC_EMERGENCY = "gc.emergency"
 LINK_DOWN = "replication.link_down"
 LINK_UP = "replication.link_up"
 FAILOVER = "replication.failover"
+NODE_DOWN = "cluster.node_down"
+NODE_UP = "cluster.node_up"
+QUORUM_ACK = "cluster.quorum_ack"
+QUORUM_STALL = "cluster.quorum_stall"
+TAIL_TRUNCATE = "cluster.truncate"
+PROMOTE = "cluster.promote"
+SEGMENT_REPAIRED = "cluster.segment_repaired"
+REPAIR_DONE = "cluster.repair_done"
 
 
 class Event:

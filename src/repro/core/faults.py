@@ -60,6 +60,7 @@ NOSPACE = "nospace"
 TRANSIENT = "transient"
 INTERMITTENT = "intermittent"
 LINKFLAP = "linkflap"
+NODECRASH = "nodecrash"
 
 #: Stage-boundary edges.
 BEFORE = "before"
@@ -79,14 +80,30 @@ class InjectedCrash(InjectedFault):
     """
 
 
+class InjectedNodeCrash(InjectedFault):
+    """A scheduled power failure of one *cluster node* fired.
+
+    Unlike :class:`InjectedCrash` (the whole primary dies and the
+    harness takes over), a node crash is survivable: the cluster pump
+    catches it, downs that node, and keeps replicating to the rest —
+    the quorum, not any single node, is the availability unit.
+    """
+
+    def __init__(self, message: str = "", node: int = 0):
+        super().__init__(message)
+        self.node = node
+
+
 class FaultEvent:
     """One fault that fired (the plan's audit trail)."""
 
-    __slots__ = ("kind", "io_index", "stage", "edge", "offset", "op")
+    __slots__ = ("kind", "io_index", "stage", "edge", "offset", "op",
+                 "node")
 
     def __init__(self, kind: str, io_index: int,
                  stage: Optional[str] = None, edge: Optional[str] = None,
-                 offset: Optional[int] = None, op: Optional[str] = None):
+                 offset: Optional[int] = None, op: Optional[str] = None,
+                 node: Optional[int] = None):
         self.kind = kind
         #: Number of device writes fully submitted when the fault fired.
         self.io_index = io_index
@@ -94,8 +111,10 @@ class FaultEvent:
         self.edge = edge
         self.offset = offset
         #: Which operation the fault hit: "write" (default), "read",
-        #: or "link".
+        #: "link", or "repl".
         self.op = op
+        #: Cluster node a replication-boundary fault targeted.
+        self.node = node
 
     def __repr__(self) -> str:
         where = (f"stage={self.stage}/{self.edge}" if self.stage
@@ -140,6 +159,11 @@ class FaultPlan:
         self._intermittent_rng: Optional[random.Random] = None
         self._link_flaps = 0
         self._link_flaps_left = 0
+        #: Every replication/quorum boundary seen, in order:
+        #: ``(node_id, boundary)`` tuples — the cluster crash-schedule
+        #: explorer's enumerable instants.
+        self.repl_log: List[Tuple[int, str]] = []
+        self._repl_faults: Dict[int, str] = {}
 
     # -- registration ------------------------------------------------------
 
@@ -210,6 +234,19 @@ class FaultPlan:
         self._link_flaps_left = times
         return self
 
+    def crash_at_repl(self, index: int) -> "FaultPlan":
+        """The *primary* loses power the instant replication boundary
+        ``index`` (an offset into ``repl_log``) is crossed."""
+        self._repl_faults[index] = CRASH
+        return self
+
+    def node_crash_at_repl(self, index: int) -> "FaultPlan":
+        """The *node* at replication boundary ``index`` loses power
+        there (:class:`InjectedNodeCrash`; the cluster pump downs the
+        node and carries on)."""
+        self._repl_faults[index] = NODECRASH
+        return self
+
     @classmethod
     def random(cls, seed: int, io_count: int,
                boundaries: Optional[List[Tuple[str, str]]] = None
@@ -261,6 +298,8 @@ class FaultPlan:
                          f"{limit})")
         if self._link_flaps:
             parts.append(f"link:flap(x{self._link_flaps})")
+        parts += [f"repl{idx}:{kind}"
+                  for idx, kind in sorted(self._repl_faults.items())]
         return ",".join(parts) or "observe"
 
     # -- hooks (called by the device array and the pipeline) ---------------
@@ -268,15 +307,16 @@ class FaultPlan:
     def _fire(self, kind: str, stage: Optional[str] = None,
               edge: Optional[str] = None,
               offset: Optional[int] = None,
-              op: Optional[str] = None) -> FaultEvent:
+              op: Optional[str] = None,
+              node: Optional[int] = None) -> FaultEvent:
         event = FaultEvent(kind, self.io_index, stage=stage, edge=edge,
-                           offset=offset, op=op)
+                           offset=offset, op=op, node=node)
         self.events.append(event)
         if self.clock is not None:
             sls_events.emit(self.clock.now(), sls_events.FAULT_INJECTED,
                             fault=kind, io_index=self.io_index,
                             stage=stage, edge=edge, offset=offset,
-                            op=op)
+                            op=op, node=node)
         return event
 
     def on_io(self, offset: int, payload, sync: bool):
@@ -352,6 +392,29 @@ class FaultPlan:
             self._fire(LINKFLAP, op="link")
             raise LinkDown(
                 f"injected link flap ({self._link_flaps_left} more)")
+
+    def on_repl(self, node: int, boundary: str) -> None:
+        """Called by the cluster pump at each replication/quorum
+        boundary of each node (ship, deliver, apply, ack, repair).
+
+        Like :meth:`on_stage`, the boundary is recorded first, then a
+        registered crash fires *at* it: work preceding the boundary is
+        complete when the crash unwinds, work after it never happened.
+        """
+        self.repl_log.append((node, boundary))
+        kind = self._repl_faults.get(len(self.repl_log) - 1)
+        if kind == CRASH:
+            self._fire(CRASH, op="repl", node=node, stage=boundary)
+            raise InjectedCrash(
+                f"injected primary power failure at replication "
+                f"boundary {len(self.repl_log) - 1} "
+                f"(node {node}, {boundary})")
+        if kind == NODECRASH:
+            self._fire(NODECRASH, op="repl", node=node, stage=boundary)
+            raise InjectedNodeCrash(
+                f"injected node {node} power failure at replication "
+                f"boundary {len(self.repl_log) - 1} ({boundary})",
+                node=node)
 
     def on_stage(self, stage: str, edge: str) -> None:
         """Called by the checkpoint pipeline at each stage boundary."""

@@ -83,11 +83,13 @@ def send_checkpoint(sls, group_id: int, ckpt_id: Optional[int] = None,
     return stream
 
 
-def recv_checkpoint(sls, stream: bytes) -> int:
+def recv_checkpoint(sls, stream: bytes, name: str = "recv") -> int:
     """Import a migration stream; returns the new local checkpoint id.
 
     Full streams create a new baseline; incremental streams chain onto
-    the group's newest local checkpoint.
+    the group's newest local checkpoint.  ``name`` labels the imported
+    checkpoint; cluster replicas encode the primary's checkpoint id in
+    it so the mapping survives a replica reboot.
     """
     document = serde.loads(stream)
     if document.get("magic") != STREAM_MAGIC:
@@ -101,7 +103,7 @@ def recv_checkpoint(sls, stream: bytes) -> int:
             raise RestoreError("incremental stream without a local "
                                "baseline")
         parent = chain[-1].ckpt_id
-    txn = store.begin_checkpoint(group_id, name="recv", parent=parent)
+    txn = store.begin_checkpoint(group_id, name=name, parent=parent)
     for oid_str, (otype, state) in document["records"].items():
         txn.put_object(int(oid_str), otype, state)
     for oid_str, obj_pages in document["pages"].items():

@@ -60,6 +60,10 @@ class Orchestrator:
         self.telemetry = telemetry.registry()
         self.slo = slo.SLOTracker()
         self.groups: Dict[int, ConsistencyGroup] = {}
+        #: Called with ``(group, info)`` after a disk checkpoint
+        #: commits synchronously — the cluster pump's chance to
+        #: replicate the commit before control returns to the caller.
+        self.commit_hooks: List = []
         self.kernel.sls = self
 
     # -- attach / detach ---------------------------------------------------------------
@@ -291,6 +295,9 @@ class Orchestrator:
             group.stats["pages_flushed"] += result.pages_flushed
             group.stats["bytes_flushed"] += ctx.info.data_bytes
             group.stats["records_written"] += result.records_written
+            if getattr(ctx.info, "complete", False):
+                for hook in self.commit_hooks:
+                    hook(group, ctx.info)
         return result
 
     #: Sentinel: "leave the group's epoch floor untouched".

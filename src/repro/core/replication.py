@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..errors import RetriesExhausted, SLSError
+from ..errors import MachineCrashed, RetriesExhausted, SLSError
 from ..units import MSEC
 from . import events, migration, telemetry
 from .resilience import RetryPolicy
@@ -100,13 +100,24 @@ class ReplicationLink:
                     "sls.replication.outages",
                     group=self.group.group_id).add(1)
             return None
-        if self.down_since is not None:
-            events.emit(self._clock().now(), events.LINK_UP,
-                        group=self.group.group_id,
-                        outage_ns=self._clock().now() - self.down_since)
-            self.down_since = None
+        self._mark_link_up()
         self.last_shipped = newest
         return newest
+
+    def _mark_link_up(self) -> None:
+        """A ship attempt went through: close any recorded outage.
+
+        Every healthy path must come through here — ``down_since``
+        carries the outage *start*, and a stale start left behind
+        after the link healed would let :meth:`failover` misread a
+        long-dead outage as a long-running one.
+        """
+        if self.down_since is None:
+            return
+        events.emit(self._clock().now(), events.LINK_UP,
+                    group=self.group.group_id,
+                    outage_ns=self._clock().now() - self.down_since)
+        self.down_since = None
 
     def install(self) -> None:
         """Hook the group's periodic commits: every completed
@@ -160,6 +171,23 @@ class ReplicationLink:
         """
         if self.last_shipped is None:
             raise SLSError("nothing was ever replicated")
+        if self.down_since is not None and not force:
+            # The recorded outage start may be stale: an outage noted
+            # when retries exhausted is never re-examined unless a
+            # later ship happens to succeed, so a link that healed
+            # (and possibly re-flapped) in between would inherit the
+            # old start and look deadline-old.  Probe before trusting
+            # it — one last ship attempt; if anything gets through the
+            # link is alive and failover would lose the unshipped
+            # tail.
+            try:
+                self.ship()
+            except MachineCrashed:
+                pass  # primary really is gone; the outage stands
+            if self.down_since is None:
+                raise SLSError(
+                    "link probe succeeded: the link is up (standby is "
+                    "current), refusing failover")
         outage = self.outage_ns()
         if (self.down_since is not None and not force
                 and outage < self.failover_deadline_ns):

@@ -145,6 +145,72 @@ class RetryPolicy:
                                          attempt=attempt)
 
 
+#: Consecutive failed ships before a cluster peer is considered
+#: degraded (the pump stops hammering it every round).
+PEER_FAILURE_THRESHOLD = 2
+#: While a peer is degraded, probe it every Nth pump round.
+PEER_PROBE_EVERY = 4
+
+
+class PeerHealth:
+    """Per-cluster-node health as seen by the replication pump.
+
+    Mirrors :class:`GroupHealth` but for a *remote* failure domain: a
+    node whose ships keep exhausting their retries degrades, and a
+    degraded node is only probed every :data:`PEER_PROBE_EVERY` pump
+    rounds instead of dragging every round through a full retry
+    budget.  Any successful ship restores it to ``ok``.
+    """
+
+    __slots__ = ("state", "consecutive_failures", "rounds",
+                 "degraded_since")
+
+    def __init__(self) -> None:
+        self.state = HEALTH_OK
+        self.consecutive_failures = 0
+        #: Pump rounds seen while degraded (drives the probe cadence).
+        self.rounds = 0
+        self.degraded_since: Optional[int] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.state == HEALTH_DEGRADED
+
+    def record_failure(self, now_ns: int) -> bool:
+        """One exhausted ship; returns True when this tipped the peer
+        into degraded."""
+        self.consecutive_failures += 1
+        if (not self.degraded
+                and self.consecutive_failures >= PEER_FAILURE_THRESHOLD):
+            self.state = HEALTH_DEGRADED
+            self.degraded_since = now_ns
+            self.rounds = 0
+            return True
+        return False
+
+    def record_success(self) -> bool:
+        """One good ship; returns True when the peer just recovered."""
+        recovered = self.degraded
+        self.state = HEALTH_OK
+        self.consecutive_failures = 0
+        self.rounds = 0
+        self.degraded_since = None
+        return recovered
+
+    def should_attempt(self) -> bool:
+        """Whether the pump should ship to this peer this round."""
+        if not self.degraded:
+            return True
+        self.rounds += 1
+        return self.rounds % PEER_PROBE_EVERY == 0
+
+    def __repr__(self) -> str:
+        if not self.degraded:
+            return "PeerHealth(ok)"
+        return (f"PeerHealth(degraded, "
+                f"{self.consecutive_failures} failures)")
+
+
 class GroupHealth:
     """Degraded-mode state for one consistency group.
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from ..units import MSEC
+from ..units import MSEC, SEC
 from . import telemetry, tracing
 
 #: Default budgets: one 100 Hz period of recovery-point lag, and the
@@ -41,6 +41,13 @@ DEFAULT_STOP_NS = 1 * MSEC
 #: degraded mode (memory-only checkpoints / widened interval) before
 #: it counts as an SLO violation — five normal checkpoint periods.
 DEFAULT_DEGRADED_NS = 50 * MSEC
+#: Cluster budgets: commit→write-quorum lag (two checkpoint periods),
+#: failover (promote + restore on the new primary), and per-segment
+#: repair MTTR — the Aurora ~10 s segment-repair window that bounds
+#: durability.
+DEFAULT_QUORUM_NS = 20 * MSEC
+DEFAULT_FAILOVER_NS = 1 * SEC
+DEFAULT_REPAIR_SEGMENT_NS = 10 * SEC
 
 #: Exact samples kept per series (oldest dropped beyond this).
 SAMPLE_CAPACITY = 65536
@@ -58,18 +65,26 @@ def percentile_exact(values: List[int], p: float) -> int:
 class SLOTargets:
     """Configurable budgets."""
 
-    __slots__ = ("rpo_ns", "stop_ns", "degraded_ns")
+    __slots__ = ("rpo_ns", "stop_ns", "degraded_ns", "quorum_ns",
+                 "failover_ns", "repair_segment_ns")
 
     def __init__(self, rpo_ns: int = DEFAULT_RPO_NS,
                  stop_ns: int = DEFAULT_STOP_NS,
-                 degraded_ns: int = DEFAULT_DEGRADED_NS):
+                 degraded_ns: int = DEFAULT_DEGRADED_NS,
+                 quorum_ns: int = DEFAULT_QUORUM_NS,
+                 failover_ns: int = DEFAULT_FAILOVER_NS,
+                 repair_segment_ns: int = DEFAULT_REPAIR_SEGMENT_NS):
         self.rpo_ns = rpo_ns
         self.stop_ns = stop_ns
         self.degraded_ns = degraded_ns
+        self.quorum_ns = quorum_ns
+        self.failover_ns = failover_ns
+        self.repair_segment_ns = repair_segment_ns
 
     def __repr__(self) -> str:
         return (f"SLOTargets(rpo={self.rpo_ns}ns, stop={self.stop_ns}ns, "
-                f"degraded={self.degraded_ns}ns)")
+                f"degraded={self.degraded_ns}ns, "
+                f"quorum={self.quorum_ns}ns)")
 
 
 class _Series:
@@ -114,6 +129,11 @@ class _GroupSLO:
         self.degraded = _Series()
         self.degraded_total_ns = 0
         self.degraded_since: Optional[int] = None
+        #: Cluster series: commit→quorum-ack lag, failover durations,
+        #: per-segment repair MTTR.
+        self.quorum_lag = _Series()
+        self.failover = _Series()
+        self.repair_mttr = _Series()
 
 
 class SLOTracker:
@@ -186,6 +206,32 @@ class SLOTracker:
                 and not was_over:
             self._violate(group_id, "degraded")
 
+    # -- the cluster feed ---------------------------------------------------------
+
+    def on_quorum_ack(self, group_id: int, lag_ns: int) -> None:
+        """A checkpoint reached its write quorum ``lag_ns`` after the
+        cluster first saw it committed."""
+        state = self._group(group_id)
+        state.quorum_lag.add(lag_ns)
+        if lag_ns > self.targets.quorum_ns:
+            self._violate(group_id, "quorum")
+
+    def on_failover(self, group_id: int, failover_ns: int) -> None:
+        """A standby node was promoted to primary."""
+        state = self._group(group_id)
+        state.failover.add(failover_ns)
+        if failover_ns > self.targets.failover_ns:
+            self._violate(group_id, "failover")
+
+    def on_repair_segment(self, group_id: int, mttr_ns: int) -> None:
+        """One lost segment copy was rebuilt ``mttr_ns`` after repair
+        began — the window in which a further fault could have lined
+        up on the same data."""
+        state = self._group(group_id)
+        state.repair_mttr.add(mttr_ns)
+        if mttr_ns > self.targets.repair_segment_ns:
+            self._violate(group_id, "repair")
+
     def degraded_time_ns(self, group_id: int,
                          now_ns: Optional[int] = None) -> int:
         """Cumulative degraded time, including any open spell."""
@@ -223,6 +269,15 @@ class SLOTracker:
                 "degraded_open": state.degraded_since is not None,
                 "degraded_target_ns": self.targets.degraded_ns,
                 "degraded_violations": self.violations(gid, "degraded"),
+                "quorum_lag": state.quorum_lag.summary(),
+                "failover": state.failover.summary(),
+                "repair_mttr": state.repair_mttr.summary(),
+                "quorum_target_ns": self.targets.quorum_ns,
+                "failover_target_ns": self.targets.failover_ns,
+                "repair_target_ns": self.targets.repair_segment_ns,
+                "quorum_violations": self.violations(gid, "quorum"),
+                "failover_violations": self.violations(gid, "failover"),
+                "repair_violations": self.violations(gid, "repair"),
             })
         return rows
 

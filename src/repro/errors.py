@@ -140,6 +140,27 @@ class RestoreError(SLSError):
     """A restore could not recreate the application."""
 
 
+# --- cluster replication ---------------------------------------------------
+
+
+class ClusterError(SLSError):
+    """Base class for quorum-cluster failures."""
+
+
+class QuorumLost(ClusterError):
+    """Fewer nodes are reachable than the read quorum requires."""
+
+
+class StaleReplica(ClusterError):
+    """A node whose applied history trails the quorum-durable
+    watermark was asked to take over; promoting it would silently
+    roll back acknowledged state."""
+
+
+class SegmentCorrupt(ClusterError):
+    """A replicated segment failed checksum or completeness checks."""
+
+
 # --- object store ----------------------------------------------------------
 
 

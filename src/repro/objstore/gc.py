@@ -54,6 +54,53 @@ def _subtree_needed(store: Any, child: CheckpointInfo) -> Optional[Set[int]]:
     return needed
 
 
+def truncate_checkpoint(store: Any, ckpt_id: int) -> int:
+    """Delete one checkpoint from the *new* end of the chain.
+
+    The mirror image of :func:`delete_checkpoint`: only a checkpoint
+    with no children may be truncated.  Nothing is forwarded — the
+    victim is the newest state, so nobody references its delta — and
+    its extents are reclaimed outright.  Quorum recovery uses this to
+    discard a replica's non-quorum tail (Aurora-style truncation of
+    writes that never reached the write quorum).
+
+    Returns bytes reclaimed.
+    """
+    info = store.get_checkpoint(ckpt_id)
+    if _children_of(store, ckpt_id):
+        raise InvalidArgument(
+            f"checkpoint {ckpt_id} still has descendants; truncate "
+            f"from the new end of the chain")
+    reclaimed = _reclaim_victim(store, info)
+    del store.checkpoints[ckpt_id]
+    store._write_catalog_and_superblock()
+    return reclaimed
+
+
+def _reclaim_victim(store: Any, info: CheckpointInfo) -> int:
+    """Drop ``info``'s extent references; free whatever hit zero.
+
+    The victim's metadata record counts too — a checkpoint that owned
+    zero page extents (a pure OS-state delta) still gives back its
+    record and meta extents, so reclaimed-bytes telemetry must not
+    read zero for it.
+    """
+    refs: Dict[int, int] = store.extent_refs
+    reclaimed = 0
+    for offset, length in info.owned_extents:
+        refs[offset] = refs.get(offset, 1) - 1
+        if refs[offset] <= 0:
+            refs.pop(offset, None)
+            store.alloc.free(offset, length)
+            store.device.discard_extent(offset)
+            reclaimed += length
+    if info.meta_extent is not None:
+        store.alloc.free(*info.meta_extent)
+        store.device.discard_extent(info.meta_extent[0])
+        reclaimed += info.meta_extent[1]
+    return reclaimed
+
+
 def delete_checkpoint(store: Any, ckpt_id: int) -> int:
     """Delete one checkpoint; returns bytes reclaimed.
 
@@ -124,22 +171,7 @@ def delete_checkpoint(store: Any, ckpt_id: int) -> int:
                          group=info.group_id).add(dropped)
 
     # Drop the deleted checkpoint's references; free what hit zero.
-    # The victim's metadata record counts too — a checkpoint that
-    # owned zero page extents (a pure OS-state delta) still gives
-    # back its record and meta extents, so reclaimed-bytes telemetry
-    # must not read zero for it.
-    reclaimed = 0
-    for offset, length in info.owned_extents:
-        refs[offset] = refs.get(offset, 1) - 1
-        if refs[offset] <= 0:
-            refs.pop(offset, None)
-            store.alloc.free(offset, length)
-            store.device.discard_extent(offset)
-            reclaimed += length
-    if info.meta_extent is not None:
-        store.alloc.free(*info.meta_extent)
-        store.device.discard_extent(info.meta_extent[0])
-        reclaimed += info.meta_extent[1]
+    reclaimed = _reclaim_victim(store, info)
     del store.checkpoints[ckpt_id]
 
     # Children metadata changed (adopted state, new parent): rewrite

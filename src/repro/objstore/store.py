@@ -756,6 +756,19 @@ class ObjectStore:
                     ckpt=ckpt_id, bytes=reclaimed)
         return reclaimed
 
+    def truncate_checkpoint(self, ckpt_id: int) -> int:
+        """Delete a childless checkpoint from the new end of its
+        chain (quorum recovery's tail truncation); returns bytes
+        reclaimed."""
+        self._require_mounted()
+        info = self.checkpoints.get(ckpt_id)
+        group_id = info.group_id if info is not None else 0
+        reclaimed = gc_mod.truncate_checkpoint(self, ckpt_id)
+        self.stats["reclaimed_bytes"] += reclaimed
+        events.emit(self.clock.now(), events.GC_RECLAIM, group=group_id,
+                    ckpt=ckpt_id, bytes=reclaimed, truncated=True)
+        return reclaimed
+
     def retain_last(self, group_id: int, keep: int) -> int:
         """Trim a group's history to its ``keep`` newest checkpoints."""
         reclaimed = 0

@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro import Machine, load_aurora
+from repro.core.cluster import B_APPLY, SLSCluster
 from repro.core.faults import AFTER, BEFORE, FaultPlan, InjectedCrash
 from repro.objstore.store import SUPERBLOCK_SLOTS
 from repro.units import PAGE_SIZE
@@ -271,3 +272,217 @@ class CrashScheduleExplorer:
               schedule: Schedule) -> List[Outcome]:
         """Run every point; returns the outcomes (callers assert)."""
         return [self.run_point(point, schedule) for point in points]
+
+
+# -- the cluster crash-schedule explorer ------------------------------------
+
+
+class ClusterRun:
+    """One primary plus its quorum cluster, advanced to the
+    pre-probed-checkpoint state."""
+
+    def __init__(self, machine, sls, group, proc, addr, cluster,
+                 v1_ckpt: int):
+        self.machine = machine
+        self.sls = sls
+        self.group = group
+        self.gid = group.group_id
+        self.proc = proc
+        self.addr = addr
+        self.cluster = cluster
+        self.v1_ckpt = v1_ckpt
+
+
+class ClusterWorkload(CounterAppWorkload):
+    """The quorum-replication protocol made crash-enumerable.
+
+    Boot: a 6-node / 3-AZ cluster replicates a durable ``V1``
+    checkpoint everywhere (no plan installed — those boundaries are
+    not part of the probed schedule), then node 5 is powered off and
+    the heap is dirtied to ``V2``.
+
+    The probed action then crosses every replication boundary once:
+    the ``V2`` sync checkpoint is pumped to the five reachable nodes
+    (``ship``/``deliver``/``apply``/``ack`` per node), node 5 rejoins
+    holding only ``V1``, and segment repair rebuilds its missing
+    ``V2`` copy (one ``repair`` boundary per segment).
+
+    The durability flip is the **write-quorum** apply — the
+    :data:`WRITE_QUORUM`-th node's media commit — not any single
+    node's, and not the primary's own superblock.
+    """
+
+    NODES = 6
+    AZS = 3
+    WRITE_QUORUM = 4
+    SEGMENT_BYTES = 512
+    REJOIN_NODE = 5
+
+    def boot(self) -> ClusterRun:  # type: ignore[override]
+        machine = Machine()
+        sls = load_aurora(machine)
+        proc = machine.kernel.spawn("app")
+        addr = proc.vmspace.mmap(self.NPAGES * PAGE_SIZE, name="heap")
+        self._fill(proc, addr, self.V1)
+        group = sls.attach(proc, periodic=False)
+        v1 = sls.checkpoint(group, name="v1", sync=True).info.ckpt_id
+        cluster = SLSCluster(sls, group, nodes=self.NODES,
+                             azs=self.AZS,
+                             segment_bytes=self.SEGMENT_BYTES)
+        durable = cluster.pump()
+        assert durable == v1, "V1 did not reach quorum before the probe"
+        cluster.node_down(self.REJOIN_NODE)
+        self._fill(proc, addr, self.V2)
+        return ClusterRun(machine, sls, group, proc, addr, cluster, v1)
+
+    def action(self, run: ClusterRun) -> None:
+        """The probed sequence: replicate V2, rejoin node 5, repair."""
+        run.sls.checkpoint(run.group, name="v2", sync=True)
+        run.cluster.pump()
+        run.cluster.node_up(self.REJOIN_NODE)
+        run.cluster.repair()
+
+    def read_page(self, proc, addr: int, index: int) -> bytes:
+        tag = self.read_state(proc, addr)
+        return proc.vmspace.read(addr + index * PAGE_SIZE,
+                                 len(tag) + len(b":%d" % index))
+
+
+class ClusterSchedule:
+    """The probed action's complete replication-boundary schedule."""
+
+    def __init__(self, repl_log: List[Tuple[int, str]],
+                 write_quorum: int):
+        self.repl_log = repl_log
+        self.count = len(repl_log)
+        applies = [i for i, (_, boundary) in enumerate(repl_log)
+                   if boundary == B_APPLY]
+        #: Index of the write-quorum-th ``apply`` boundary: that
+        #: boundary is logged *after* the W-th node's media commit, so
+        #: a crash at it — or any later boundary — leaves V2 quorum-
+        #: durable; a crash at any earlier boundary must recover V1.
+        self.flip_index = (applies[write_quorum - 1]
+                           if len(applies) >= write_quorum else None)
+
+    def __repr__(self) -> str:
+        return (f"ClusterSchedule({self.count} boundaries, "
+                f"flip@{self.flip_index})")
+
+
+class ClusterOutcome:
+    """What one cluster crash-schedule run observed."""
+
+    def __init__(self, index: int, boundary: Tuple[int, str], mode: str,
+                 durable: int, restored: bytes, restored_page: bytes,
+                 expected: bytes, expected_page: bytes):
+        self.index = index
+        self.boundary = boundary
+        self.mode = mode
+        self.durable = durable
+        self.restored = restored
+        self.restored_page = restored_page
+        self.expected = expected
+        self.expected_page = expected_page
+
+    @property
+    def ok(self) -> bool:
+        return (self.restored == self.expected
+                and self.restored_page == self.expected_page)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "MISMATCH"
+        node, boundary = self.boundary
+        return (f"ClusterOutcome(#{self.index} {boundary}@n{node} "
+                f"{self.mode}, {status})")
+
+
+class ClusterScheduleExplorer:
+    """Crashes the primary — or any single node — at every
+    replication/quorum boundary and checks the quorum oracle.
+
+    Two modes per boundary:
+
+    * ``primary`` — the whole primary machine power-fails at the
+      boundary; the cluster recovers from replica media alone.  The
+      recovered state must be V2 iff the crash came at or after the
+      write-quorum apply (``flip_index``), V1 otherwise — and never
+      anything in between (a non-acked checkpoint is invisible, an
+      acked one complete).
+    * ``node`` — the *node named by the boundary* power-fails there
+      instead.  The pump/repair absorb the loss (one node is not the
+      availability unit), the action completes, and recovery after a
+      subsequent primary crash must still produce V2: the quorum held.
+    """
+
+    def __init__(self, workload: Optional[ClusterWorkload] = None):
+        self.workload = workload or ClusterWorkload()
+
+    # -- schedule discovery -------------------------------------------------
+
+    def _observe(self) -> FaultPlan:
+        run = self.workload.boot()
+        plan = FaultPlan(name="cluster-probe")
+        run.machine.set_fault_plan(plan)
+        self.workload.action(run)
+        return plan
+
+    def probe(self) -> ClusterSchedule:
+        """Discover the boundary schedule; assert it is deterministic."""
+        first = self._observe()
+        second = self._observe()
+        assert first.repl_log == second.repl_log, \
+            "replication boundary schedule is not deterministic"
+        schedule = ClusterSchedule(first.repl_log,
+                                   self.workload.WRITE_QUORUM)
+        assert schedule.count > 0, "action crossed no boundaries"
+        assert schedule.flip_index is not None, \
+            "V2 never reached a write quorum in the probe"
+        assert any(boundary == "repair"
+                   for _, boundary in schedule.repl_log), \
+            "action scheduled no repair boundaries"
+        return schedule
+
+    # -- executing one point ------------------------------------------------
+
+    def run_point(self, index: int, schedule: ClusterSchedule,
+                  mode: str = "primary") -> ClusterOutcome:
+        workload = self.workload
+        run = workload.boot()
+        plan = FaultPlan(name=f"repl{index}:{mode}")
+        if mode == "primary":
+            plan.crash_at_repl(index)
+        else:
+            plan.node_crash_at_repl(index)
+        run.machine.set_fault_plan(plan)
+        try:
+            workload.action(run)
+        except InjectedCrash:
+            assert mode == "primary", \
+                "a node crash must never escape the pump"
+        assert plan.fired, f"boundary {index}: crash never fired"
+
+        # Whatever already happened, the primary now dies; the cluster
+        # must settle on its quorum-durable state from replica media.
+        run.machine.crash()
+        recovery = run.cluster.recover()
+        if mode == "primary":
+            expected = (workload.V2
+                        if index >= (schedule.flip_index or 0)
+                        else workload.V1)
+        else:
+            # One node died but the quorum survived: V2 must have
+            # been acknowledged and must be what recovery yields.
+            expected = workload.V2
+        restored = workload.read_state(recovery.result.root, run.addr)
+        restored_page = workload.read_page(recovery.result.root,
+                                           run.addr, 7)
+        expected_page = expected + b":7"
+        return ClusterOutcome(index, schedule.repl_log[index], mode,
+                              recovery.durable, restored,
+                              restored_page, expected, expected_page)
+
+    def sweep(self, indices: List[int], schedule: ClusterSchedule,
+              mode: str = "primary") -> List[ClusterOutcome]:
+        """Run the given boundaries; returns outcomes (callers assert)."""
+        return [self.run_point(index, schedule, mode=mode)
+                for index in indices]

@@ -22,7 +22,8 @@ from repro.objstore.oid import CLASS_MEMORY, make_oid
 from repro.objstore.store import ObjectStore
 from repro.units import PAGE_SIZE
 
-from tests.crashsched import (CounterAppWorkload, CrashScheduleExplorer,
+from tests.crashsched import (ClusterScheduleExplorer, ClusterWorkload,
+                              CounterAppWorkload, CrashScheduleExplorer,
                               IncrementalCounterWorkload, IOCrash,
                               StageCrash)
 
@@ -309,6 +310,110 @@ def test_injected_fault_lands_in_event_log_at_deterministic_time():
     assert len(fails1) == 1
     assert fails1 == fails2
     assert "InjectedCrash" in fails1[0][1]["error"]
+
+
+# -- cluster crash scheduling: every replication/quorum boundary -------------------
+
+
+@pytest.fixture(scope="module")
+def cluster_explorer():
+    return ClusterScheduleExplorer()
+
+
+@pytest.fixture(scope="module")
+def cluster_schedule(cluster_explorer):
+    """Probed (determinism-checked) replication boundary schedule."""
+    return cluster_explorer.probe()
+
+
+def _sampled_indices(schedule, extra_samples=4):
+    """Fixed-seed sample always covering the decisive boundaries:
+    the first, the last pre-flip, the flip itself, its successor, the
+    first repair boundary and the final one."""
+    first_repair = next(i for i, (_, b) in enumerate(schedule.repl_log)
+                        if b == "repair")
+    indices = {0, schedule.flip_index - 1, schedule.flip_index,
+               schedule.flip_index + 1, first_repair, schedule.count - 1}
+    rng = random.Random(SMOKE_SEED)
+    indices.update(rng.sample(range(schedule.count), extra_samples))
+    return sorted(index for index in indices
+                  if 0 <= index < schedule.count)
+
+
+def test_cluster_probe_covers_the_whole_protocol(cluster_schedule):
+    """The schedule crosses ship/deliver/apply/ack for every reachable
+    node and repair for every rebuilt segment — and the durability
+    flip sits at the write-quorum-th apply, strictly inside."""
+    boundaries = {b for _, b in cluster_schedule.repl_log}
+    assert boundaries == {"ship", "deliver", "apply", "ack", "repair"}
+    pump_nodes = {n for n, b in cluster_schedule.repl_log if b == "ack"}
+    assert pump_nodes == set(range(ClusterWorkload.NODES - 1))
+    applies = [i for i, (_, b) in enumerate(cluster_schedule.repl_log)
+               if b == "apply"]
+    assert cluster_schedule.flip_index == \
+        applies[ClusterWorkload.WRITE_QUORUM - 1]
+    assert 0 < cluster_schedule.flip_index < cluster_schedule.count - 1
+
+
+def test_cluster_primary_crash_at_sampled_boundaries(cluster_explorer,
+                                                     cluster_schedule):
+    """Tier-1 slice: the primary power-fails at the decisive
+    boundaries (plus a fixed-seed sample); recovery from replica media
+    yields exactly the last quorum-acked checkpoint — V2 at and after
+    the write-quorum apply, V1 before it, never a mixture."""
+    outcomes = cluster_explorer.sweep(_sampled_indices(cluster_schedule),
+                                      cluster_schedule)
+    assert all(outcome.ok for outcome in outcomes), \
+        [outcome for outcome in outcomes if not outcome.ok]
+    restored = {outcome.restored for outcome in outcomes}
+    assert restored == {ClusterWorkload.V1, ClusterWorkload.V2}
+
+
+def test_cluster_node_crash_at_sampled_boundaries(cluster_explorer,
+                                                  cluster_schedule):
+    """Tier-1 slice: the node *named by the boundary* power-fails
+    there instead.  The pump and repair absorb the loss, the write
+    quorum still forms, and recovery yields V2 every time."""
+    indices = _sampled_indices(cluster_schedule, extra_samples=2)[:5]
+    outcomes = cluster_explorer.sweep(indices, cluster_schedule,
+                                      mode="node")
+    assert all(outcome.ok for outcome in outcomes), \
+        [outcome for outcome in outcomes if not outcome.ok]
+    assert all(outcome.restored == ClusterWorkload.V2
+               for outcome in outcomes)
+
+
+@pytest.mark.slow
+def test_cluster_exhaustive_primary_crash_sweep(cluster_explorer,
+                                                cluster_schedule):
+    """Every replication/quorum boundary, gap-free: a primary crash at
+    each one recovers exactly the last quorum-acked checkpoint.  A
+    quorum-acked V2 is always recovered; a non-acked V2 is never even
+    partially visible."""
+    indices = list(range(cluster_schedule.count))
+    outcomes = cluster_explorer.sweep(indices, cluster_schedule)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    assert not failures, failures
+    # Both durable states were actually exercised, and they flip
+    # exactly once, at the write-quorum apply.
+    flips = [outcome.restored == ClusterWorkload.V2
+             for outcome in outcomes]
+    assert flips == [index >= cluster_schedule.flip_index
+                     for index in indices]
+
+
+@pytest.mark.slow
+def test_cluster_exhaustive_node_crash_sweep(cluster_explorer,
+                                             cluster_schedule):
+    """Any single node crashing at any boundary never loses the
+    quorum: the action completes and recovery yields V2 everywhere."""
+    indices = list(range(cluster_schedule.count))
+    outcomes = cluster_explorer.sweep(indices, cluster_schedule,
+                                      mode="node")
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    assert not failures, failures
+    assert all(outcome.restored == ClusterWorkload.V2
+               for outcome in outcomes)
 
 
 def test_crashed_checkpoint_trace_is_marked_incomplete():

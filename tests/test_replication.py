@@ -3,6 +3,7 @@
 import pytest
 
 from repro import Machine, load_aurora
+from repro.core.faults import FaultPlan
 from repro.core.replication import ReplicationLink
 from repro.errors import SLSError
 from repro.units import MSEC, PAGE_SIZE
@@ -83,6 +84,55 @@ def test_failover_without_replication_fails(pair):
     link = ReplicationLink(primary_sls, standby_sls, group)
     with pytest.raises(SLSError):
         link.failover()
+
+
+def test_stale_outage_does_not_permit_premature_failover(pair):
+    """Regression: a healed link must not inherit a stale outage.
+
+    An outage recorded when a ship's retries exhaust was never
+    re-examined unless a later ship happened to succeed, so once the
+    outage *start* aged past the failover deadline, ``failover()``
+    would promote the standby while the primary was alive and the
+    link fine — losing the tail the standby never received.  The fix
+    probes the link before trusting the recorded outage.
+    """
+    primary, primary_sls, standby, standby_sls = pair
+    proc, group, addr = make_service(primary, primary_sls)
+    link = ReplicationLink(primary_sls, standby_sls, group)
+
+    proc.vmspace.write(addr, b"state-A")
+    primary_sls.checkpoint(group, sync=True)
+    assert link.ship() is not None
+
+    # The tail checkpoint B commits, but the link flaps through the
+    # whole retry budget (5 attempts): the outage is recorded and B
+    # stays unshipped.  Three more flaps remain armed.
+    proc.vmspace.write(addr, b"state-B")
+    primary_sls.checkpoint(group, sync=True)
+    ckpt_b = group.last_complete_id
+    primary.set_fault_plan(FaultPlan(name="flap").flaky_link(times=8))
+    assert link.ship() is None
+    assert link.down_since is not None
+    assert link.last_shipped != ckpt_b
+
+    # The link heals, but nothing ships again; the stale outage ages
+    # past the failover deadline.
+    primary_sls.machine.clock.advance(150 * MSEC)
+    assert link.outage_ns() > link.failover_deadline_ns
+
+    # Failover must probe instead of trusting the stale record: the
+    # probe rides out the remaining flaps, ships B, and refuses the
+    # promotion — the primary is alive and the standby now current.
+    with pytest.raises(SLSError, match="refusing failover"):
+        link.failover()
+    assert link.down_since is None
+    assert link.last_shipped == ckpt_b
+
+    # When the primary really dies, failover proceeds and restores
+    # the tail the probe saved.
+    primary.crash()
+    result = link.failover()
+    assert result.root.vmspace.read(addr, 7) == b"state-B"
 
 
 def test_stop_halts_pumping(pair):
