@@ -420,6 +420,75 @@ def cmd_slo(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """``sls fleet``: the fleet control plane's per-tenant table.
+
+    Boots the image, spawns ``--tenants`` synthetic applications with
+    mixed periods through fleet admission control, drives them for
+    ``--millis`` of simulated time, and prints each tenant's scheduler
+    state: effective period, demand share, deadline misses, degraded
+    state and probe cadence, plus the fleet summary (capacity,
+    aggregate demand, Jain fairness over p99 RPO lag).  The image is
+    not modified.
+    """
+    from . import slo as slo_mod
+
+    machine, sls = _load(args.image)
+    kernel = machine.kernel
+    periods = [10, 25, 50]
+    groups = []
+    for index in range(args.tenants):
+        proc = kernel.spawn(f"tenant{index}")
+        nbytes = 32 * KiB
+        addr = proc.vmspace.mmap(nbytes, name="heap")
+        proc.vmspace.fill(addr, nbytes // PAGE_SIZE, seed=index)
+        period_ms = periods[index % len(periods)]
+        group = sls.attach(proc, name=f"tenant{index}",
+                           period_ns=period_ms * MSEC,
+                           rpo_budget_ns=4 * period_ms * MSEC,
+                           probe_every=args.probe_every)
+        groups.append((proc, addr, group))
+    deadline = machine.clock.now() + args.millis * MSEC
+    step = 0
+    while machine.clock.now() < deadline:
+        step += 1
+        for proc, addr, group in groups:
+            proc.vmspace.write(addr, f"{group.name}:{step}".encode())
+        machine.run_for(5 * MSEC)
+
+    rows = sls.fleet.report()
+    print(f"{'GROUP':>5}  {'NAME':<10} {'PERIOD':>8} {'EFFECTIVE':>9} "
+          f"{'DEMAND':>10} {'SHARE':>6} {'CKPTS':>5} {'MISS':>4} "
+          f"{'SKIP':>4} {'DEGRADED':<8} {'PROBE':>5} {'P99 RPO':>12}")
+    for row in rows:
+        state = sls.slo.groups.get(row["group"])
+        p99 = (slo_mod.percentile_exact(state.rpo_lag.values, 99)
+               if state is not None else 0)
+        print(f"{row['group']:>5}  {row['name']:<10} "
+              f"{fmt_time(row['period_ns']):>8} "
+              f"{fmt_time(row['effective_period_ns']):>9} "
+              f"{fmt_size(row['demand_bps']):>8}/s "
+              f"{row['demand_share'] * 100:>5.1f}% "
+              f"{row['checkpoints']:>5} {row['deadline_misses']:>4} "
+              f"{row['flush_skips']:>4} {row['degraded'] or '-':<8} "
+              f"{row['probe_every']:>5} {fmt_time(p99):>12}")
+    summary = sls.fleet.summary()
+    fairness = summary["fairness"]
+    print(f"fleet: {summary['tenants']} tenant(s), demand "
+          f"{fmt_size(summary['aggregate_demand_bps'])}/s of "
+          f"{fmt_size(summary['capacity_bps'])}/s "
+          f"({summary['bandwidth_util'] * 100:.1f}% bandwidth, "
+          f"{summary['time_util'] * 100:.1f}% time), "
+          f"{summary['deadline_misses']} deadline miss(es), "
+          f"{summary['admission_rejects']} reject(s), "
+          f"{summary['backpressure_widens']} widen(s)")
+    print(f"fairness: Jain {fairness['jain']:.3f} over "
+          f"{fairness['groups']} tenant(s), p99 RPO lag "
+          f"{fmt_time(fairness['p99_rpo_min_ns'])} .. "
+          f"{fmt_time(fairness['p99_rpo_max_ns'])}")
+    return 0
+
+
 def cmd_scrub(args) -> int:
     """``sls scrub``: offline integrity walk over the store.
 
@@ -748,6 +817,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cumulative degraded-time budget in ms "
                         "(default 50)")
     p.set_defaults(func=cmd_slo)
+
+    p = sub.add_parser("fleet", help="fleet scheduler per-tenant table")
+    p.add_argument("image")
+    p.add_argument("--tenants", type=int, default=8,
+                   help="synthetic tenants to admit (default 8)")
+    p.add_argument("--millis", type=int, default=200,
+                   help="simulated run length in ms (default 200)")
+    p.add_argument("--probe-every", type=int, default=None,
+                   help="degraded disk-probe cadence (default: "
+                        "per-group DEFAULT_PROBE_EVERY)")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("restore", help="restore an application")
     p.add_argument("image")

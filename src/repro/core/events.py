@@ -54,6 +54,11 @@ TAIL_TRUNCATE = "cluster.truncate"
 PROMOTE = "cluster.promote"
 SEGMENT_REPAIRED = "cluster.segment_repaired"
 REPAIR_DONE = "cluster.repair_done"
+FLEET_ADMIT = "fleet.admit"
+FLEET_EVICT = "fleet.evict"
+ADMISSION_REJECT = "fleet.admission_reject"
+BACKPRESSURE = "fleet.backpressure"
+DEADLINE_MISS = "fleet.deadline_miss"
 
 
 class Event:

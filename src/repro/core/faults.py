@@ -164,6 +164,13 @@ class FaultPlan:
         #: explorer's enumerable instants.
         self.repl_log: List[Tuple[int, str]] = []
         self._repl_faults: Dict[int, str] = {}
+        #: Every fleet-scheduler boundary seen, in order:
+        #: ``(group_id, boundary)`` tuples — ``admit`` (admission
+        #: decision), ``dispatch`` (EDF dispatch) and ``widen``
+        #: (backpressure widen).  The fleet crash-schedule explorer's
+        #: enumerable instants.
+        self.fleet_log: List[Tuple[int, str]] = []
+        self._fleet_faults: Dict[int, str] = {}
 
     # -- registration ------------------------------------------------------
 
@@ -247,6 +254,12 @@ class FaultPlan:
         self._repl_faults[index] = NODECRASH
         return self
 
+    def crash_at_fleet(self, index: int) -> "FaultPlan":
+        """Power fails the instant fleet-scheduler boundary ``index``
+        (an offset into ``fleet_log``) is crossed."""
+        self._fleet_faults[index] = CRASH
+        return self
+
     @classmethod
     def random(cls, seed: int, io_count: int,
                boundaries: Optional[List[Tuple[str, str]]] = None
@@ -300,6 +313,8 @@ class FaultPlan:
             parts.append(f"link:flap(x{self._link_flaps})")
         parts += [f"repl{idx}:{kind}"
                   for idx, kind in sorted(self._repl_faults.items())]
+        parts += [f"fleet{idx}:{kind}"
+                  for idx, kind in sorted(self._fleet_faults.items())]
         return ",".join(parts) or "observe"
 
     # -- hooks (called by the device array and the pipeline) ---------------
@@ -415,6 +430,23 @@ class FaultPlan:
                 f"injected node {node} power failure at replication "
                 f"boundary {len(self.repl_log) - 1} ({boundary})",
                 node=node)
+
+    def on_fleet(self, group: int, boundary: str) -> None:
+        """Called by the fleet scheduler at each control-plane
+        boundary (admission decision, EDF dispatch, backpressure
+        widen).
+
+        Like :meth:`on_stage`, the boundary is recorded first, then a
+        registered crash fires *at* it: state changed before the
+        boundary survives to the post-crash store, state after it
+        never happened.
+        """
+        self.fleet_log.append((group, boundary))
+        if self._fleet_faults.get(len(self.fleet_log) - 1) == CRASH:
+            self._fire(CRASH, op="fleet", node=group, stage=boundary)
+            raise InjectedCrash(
+                f"injected power failure at fleet boundary "
+                f"{len(self.fleet_log) - 1} (group {group}, {boundary})")
 
     def on_stage(self, stage: str, edge: str) -> None:
         """Called by the checkpoint pipeline at each stage boundary."""

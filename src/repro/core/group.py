@@ -17,7 +17,7 @@ from ..kernel.proc.pid import IDVirtualization
 from ..kernel.proc.process import Process
 from ..units import MSEC
 from . import telemetry
-from .resilience import GroupHealth
+from .resilience import DEFAULT_PROBE_EVERY, GroupHealth
 
 
 class ObjectTrack:
@@ -90,6 +90,31 @@ class ConsistencyGroup:
         #: were collapsed back into the in-memory chain and an
         #: incremental capture would miss them.
         self.force_full_next = False
+        #: Per-tenant degraded-probe cadence: while degraded for
+        #: ENOSPC, every Nth tick is a disk probe (the rest stay
+        #: memory-only).  Fleet-surfaced (``sls fleet``).
+        self.probe_every = DEFAULT_PROBE_EVERY
+        #: Fleet backpressure: the scheduler stretches an over-budget
+        #: tenant's effective period by this factor (1 = as requested).
+        self.backpressure_factor = 1
+        #: EWMA demand/service estimates maintained by the fleet
+        #: scheduler: dirty bytes a disk checkpoint writes, and the
+        #: sim-time one dispatch occupies the control plane.  Zero
+        #: until the first observation (the scheduler seeds admission
+        #: with a conservative default).
+        self.demand_bytes_per_ckpt = 0
+        self.service_ns_est = 0
+        #: Per-tenant SLO budgets; ``None`` inherits the tracker-wide
+        #: defaults.  Registered with the SLO tracker at admission.
+        self.rpo_budget_ns: Optional[int] = None
+        self.stop_budget_ns: Optional[int] = None
+        #: Deadline-miss slack: a dispatch later than this past its
+        #: EDF deadline counts as a miss (``None`` = period / 4).
+        self.miss_slack_ns: Optional[int] = None
+        #: Fleet scheduling counters.
+        self.dispatches = 0
+        self.deadline_misses = 0
+        self.flush_skips = 0
         #: Aggregate statistics for benchmarks — a view over telemetry
         #: counters, so the numbers are also queryable per group from
         #: the registry (``sls stat``).

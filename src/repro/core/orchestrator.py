@@ -33,6 +33,7 @@ from ..slsfs.slsfs import SLSFS
 from . import events, resilience, slo, telemetry, tracing
 from .extsync import ExternalSynchrony
 from .faults import InjectedCrash
+from .fleet import ADMIT_WIDEN, FleetScheduler
 from .group import ConsistencyGroup
 from .pipeline import (MODE_DISK, MODE_MEM, CheckpointContext,
                        CheckpointPipeline, CheckpointResult)
@@ -59,6 +60,10 @@ class Orchestrator:
         self.pipeline = CheckpointPipeline()
         self.telemetry = telemetry.registry()
         self.slo = slo.SLOTracker()
+        #: The fleet control plane: one EDF queue owns every periodic
+        #: checkpoint (admission control, stagger, backpressure,
+        #: per-tenant degraded ticks).
+        self.fleet = FleetScheduler(self)
         self.groups: Dict[int, ConsistencyGroup] = {}
         #: Called with ``(group, info)`` after a disk checkpoint
         #: commits synchronously — the cluster pump's chance to
@@ -72,7 +77,12 @@ class Orchestrator:
                period_ns: Optional[int] = None,
                external_synchrony: bool = False,
                periodic: bool = True,
-               history_limit: Optional[int] = None) -> ConsistencyGroup:
+               history_limit: Optional[int] = None,
+               demand_bytes_per_sec: Optional[int] = None,
+               admission: str = ADMIT_WIDEN,
+               rpo_budget_ns: Optional[int] = None,
+               stop_budget_ns: Optional[int] = None,
+               probe_every: Optional[int] = None) -> ConsistencyGroup:
         """``sls attach``: put a process (and its tree) under Aurora.
 
         ``external_synchrony`` defaults off to mirror the paper's
@@ -80,6 +90,15 @@ class Orchestrator:
         activates the buffer-until-commit path.  ``history_limit``
         bounds the retained execution history (old checkpoints are
         merged away WAFL-style after each commit).
+
+        Periodic groups go through fleet admission control:
+        ``demand_bytes_per_sec`` seeds the demand estimate and
+        ``admission`` picks the over-capacity policy (``widen``
+        stretches the newcomer's period; ``reject`` raises
+        :class:`~repro.errors.AdmissionRejected` and leaves nothing
+        attached).  ``rpo_budget_ns``/``stop_budget_ns`` install
+        per-tenant SLO budgets; ``probe_every`` sets the degraded
+        disk-probe cadence.
         """
         desc_oid = self.store.alloc_oid(CLASS_GROUP)
         group = ConsistencyGroup(oid_serial(desc_oid),
@@ -88,11 +107,28 @@ class Orchestrator:
                                  external_synchrony=external_synchrony)
         group.desc_oid = desc_oid
         group.history_limit = history_limit
+        group.rpo_budget_ns = rpo_budget_ns
+        group.stop_budget_ns = stop_budget_ns
+        if probe_every is not None:
+            if probe_every < 1:
+                raise InvalidArgument(f"bad probe cadence {probe_every}")
+            group.probe_every = probe_every
         for member in proc.tree():
             group.add_process(member)
         self.groups[group.group_id] = group
         if periodic:
-            self._schedule(group)
+            try:
+                self.fleet.admit(group,
+                                 demand_bytes_per_sec=demand_bytes_per_sec,
+                                 policy=admission)
+            except Exception:
+                # A refused attach leaves no trace: the processes come
+                # back out and the group never ran.
+                for member in list(group.processes):
+                    group.remove_process(member)
+                group.attached = False
+                self.groups.pop(group.group_id, None)
+                raise
         return group
 
     def detach(self, group: ConsistencyGroup) -> None:
@@ -119,82 +155,8 @@ class Orchestrator:
             raise NotAttached(f"{proc} is not attached")
         return proc.sls_group
 
-    # -- periodic checkpointing -----------------------------------------------------------
-
-    def _schedule(self, group: ConsistencyGroup) -> None:
-        def tick():
-            if not group.attached or group.suspended:
-                return
-            if not group.flush_in_progress:
-                self._periodic_checkpoint(group)
-            # A flush overrunning the period delays the next
-            # checkpoint rather than piling up (§7); degraded mode
-            # may widen the period further.
-            group.timer = self.machine.loop.call_after(
-                self._effective_period(group), tick)
-
-        group.timer = self.machine.loop.call_after(
-            self._effective_period(group), tick)
-
-    def _effective_period(self, group: ConsistencyGroup) -> int:
-        """The group's checkpoint period, widened while degraded for
-        repeated device errors (back off a sick device instead of
-        hammering it at 100 Hz)."""
-        health = group.health
-        if health.degraded and health.reason == resilience.REASON_DEVICE:
-            return group.period_ns * resilience.WIDEN_FACTOR
-        return group.period_ns
-
-    def _periodic_checkpoint(self, group: ConsistencyGroup) -> None:
-        """One periodic tick: checkpoint, absorbing storage failures
-        into the degraded-mode state machine instead of unwinding into
-        the event loop.  Injected power failures still propagate — a
-        dying host does not degrade gracefully."""
-        health = group.health
-        if health.degraded:
-            self._degraded_tick(group)
-            return
-        try:
-            self.checkpoint(group)
-            health.consecutive_failures = 0
-        except (StoreFull, NoSpace) as exc:
-            self._enter_degraded(group, resilience.REASON_ENOSPC, exc)
-            self._emergency_gc(group)
-            # Keep the 100 Hz cadence alive with a memory-only
-            # checkpoint: bounded stop times, no store writes.
-            self.checkpoint(group, mode=MODE_MEM)
-        except RetriesExhausted as exc:
-            health.consecutive_failures += 1
-            if (health.consecutive_failures
-                    >= resilience.DEVICE_FAILURE_THRESHOLD):
-                self._enter_degraded(group, resilience.REASON_DEVICE, exc)
-
-    def _degraded_tick(self, group: ConsistencyGroup) -> None:
-        health = group.health
-        health.ticks += 1
-        if health.reason == resilience.REASON_ENOSPC:
-            # Memory-only checkpoints with a periodic disk probe; the
-            # probe is full so everything captured only in memory
-            # since degrading becomes durable the moment space allows.
-            if health.ticks % resilience.PROBE_EVERY == 0:
-                try:
-                    self.checkpoint(group, name="probe", full=True,
-                                    sync=True)
-                    self._exit_degraded(group)
-                    return
-                except (StoreFull, NoSpace, RetriesExhausted):
-                    self._emergency_gc(group)
-            self.checkpoint(group, mode=MODE_MEM)
-            return
-        # Device trouble: the widened-interval tick *is* the probe.
-        try:
-            self.checkpoint(group, name="probe", full=True, sync=True)
-            self._exit_degraded(group)
-        except RetriesExhausted:
-            health.consecutive_failures += 1
-        except (StoreFull, NoSpace) as exc:
-            self._enter_degraded(group, resilience.REASON_ENOSPC, exc)
-            self._emergency_gc(group)
+    # -- degraded-mode transitions (the fleet scheduler drives the
+    # -- periodic ticks; see core/fleet.py) ----------------------------------------------
 
     def _enter_degraded(self, group: ConsistencyGroup, reason: str,
                         error: Optional[Exception] = None) -> None:
@@ -346,7 +308,15 @@ class Orchestrator:
             return
         clock = self.kernel.clock
         events.emit(clock.now(), events.CKPT_FAIL, group=group.group_id,
-                    error=f"{type(error).__name__}: {error}", async_flush=True)
+                    error=f"{type(error).__name__}: {error}",
+                    async_flush=True, detached=not group.attached)
+        if not group.attached:
+            # The flush outlived a detach: the store-level abort above
+            # is all that may happen.  A detached group has no timer,
+            # no fleet slot and no live SLO series — entering degraded
+            # mode or running emergency GC for it would corrupt the
+            # state of a tenant that no longer exists.
+            return
         health = group.health
         if isinstance(error, (StoreFull, NoSpace)):
             self._enter_degraded(group, resilience.REASON_ENOSPC, error)
@@ -412,7 +382,7 @@ class Orchestrator:
         result = restorer.restore(ckpt_id, lazy=lazy)
         self.groups[result.group.group_id] = result.group
         if periodic:
-            self._schedule(result.group)
+            self.fleet.admit(result.group)
         return result
 
     # -- suspend / resume ----------------------------------------------------------------------------

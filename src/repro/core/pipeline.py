@@ -295,7 +295,10 @@ class Flush(Stage):
         def on_complete(info):
             group.flush_in_progress = False
             group.last_complete_id = info.ckpt_id
-            if slo_tracker is not None:
+            # A flush may outlive a detach; the commit still lands in
+            # the store (history is kept), but a detached group's SLO
+            # series must not absorb the orphan's samples.
+            if slo_tracker is not None and group.attached:
                 slo_tracker.on_commit(group.group_id, info.ckpt_id,
                                       capture_ns, kernel.clock.now())
             shadow.mark_flushed(group)

@@ -63,8 +63,14 @@ DEVICE_FAILURE_THRESHOLD = 3
 #: Checkpoint-interval multiplier while degraded for device errors.
 WIDEN_FACTOR = 4
 #: While degraded for ENOSPC, try a real (disk) checkpoint every Nth
-#: tick as the recovery probe; the rest stay memory-only.
-PROBE_EVERY = 5
+#: tick as the recovery probe; the rest stay memory-only.  This is the
+#: *default* cadence: each consistency group carries its own
+#: ``probe_every`` (``sls attach --probe-every``, shown by
+#: ``sls fleet``) so a tenant on a slow-to-recover store can probe
+#: less aggressively than its neighbours.
+DEFAULT_PROBE_EVERY = 5
+#: Backward-compatible alias for the pre-fleet name.
+PROBE_EVERY = DEFAULT_PROBE_EVERY
 
 
 class _ClockLike:

@@ -81,6 +81,15 @@ class SLOTargets:
         self.failover_ns = failover_ns
         self.repair_segment_ns = repair_segment_ns
 
+    def replace(self, **overrides: int) -> "SLOTargets":
+        """A copy with the given budgets overridden."""
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        for name, value in overrides.items():
+            if name not in fields:
+                raise TypeError(f"unknown SLO budget {name!r}")
+            fields[name] = value
+        return SLOTargets(**fields)
+
     def __repr__(self) -> str:
         return (f"SLOTargets(rpo={self.rpo_ns}ns, stop={self.stop_ns}ns, "
                 f"degraded={self.degraded_ns}ns, "
@@ -143,6 +152,19 @@ class SLOTracker:
     def __init__(self, targets: Optional[SLOTargets] = None):
         self.targets = targets or SLOTargets()
         self.groups: Dict[int, _GroupSLO] = {}
+        #: Per-tenant budget overrides (fleet-admitted groups with
+        #: explicit budgets land here; everyone else inherits
+        #: ``self.targets``).
+        self.group_targets: Dict[int, SLOTargets] = {}
+
+    def set_group_targets(self, group_id: int, **overrides: int) -> None:
+        """Install per-tenant budgets for one group (merged over the
+        tracker-wide defaults)."""
+        self.group_targets[group_id] = self.targets.replace(**overrides)
+
+    def targets_for(self, group_id: int) -> SLOTargets:
+        """The budgets in force for one group."""
+        return self.group_targets.get(group_id, self.targets)
 
     def _group(self, group_id: int) -> _GroupSLO:
         state = self.groups.get(group_id)
@@ -162,7 +184,7 @@ class SLOTracker:
         """One checkpoint's quiesce→resume window closed."""
         state = self._group(group_id)
         state.stop.add(stop_ns)
-        if stop_ns > self.targets.stop_ns:
+        if stop_ns > self.targets_for(group_id).stop_ns:
             self._violate(group_id, "stop")
 
     def on_commit(self, group_id: int, ckpt_id: int,
@@ -182,7 +204,7 @@ class SLOTracker:
         state.e2e.add(commit_ns - capture_ns)
         state.last_durable_capture = capture_ns
         state.commits += 1
-        if lag > self.targets.rpo_ns:
+        if lag > self.targets_for(group_id).rpo_ns:
             self._violate(group_id, "rpo")
 
     def on_degraded_enter(self, group_id: int, now_ns: int) -> None:
@@ -199,11 +221,10 @@ class SLOTracker:
         spell = now_ns - state.degraded_since
         state.degraded_since = None
         state.degraded.add(spell)
-        was_over = (state.degraded_total_ns - spell
-                    > self.targets.degraded_ns)
+        budget = self.targets_for(group_id).degraded_ns
+        was_over = state.degraded_total_ns - spell > budget
         state.degraded_total_ns += spell
-        if state.degraded_total_ns > self.targets.degraded_ns \
-                and not was_over:
+        if state.degraded_total_ns > budget and not was_over:
             self._violate(group_id, "degraded")
 
     # -- the cluster feed ---------------------------------------------------------
@@ -213,14 +234,14 @@ class SLOTracker:
         cluster first saw it committed."""
         state = self._group(group_id)
         state.quorum_lag.add(lag_ns)
-        if lag_ns > self.targets.quorum_ns:
+        if lag_ns > self.targets_for(group_id).quorum_ns:
             self._violate(group_id, "quorum")
 
     def on_failover(self, group_id: int, failover_ns: int) -> None:
         """A standby node was promoted to primary."""
         state = self._group(group_id)
         state.failover.add(failover_ns)
-        if failover_ns > self.targets.failover_ns:
+        if failover_ns > self.targets_for(group_id).failover_ns:
             self._violate(group_id, "failover")
 
     def on_repair_segment(self, group_id: int, mttr_ns: int) -> None:
@@ -229,7 +250,7 @@ class SLOTracker:
         up on the same data."""
         state = self._group(group_id)
         state.repair_mttr.add(mttr_ns)
-        if mttr_ns > self.targets.repair_segment_ns:
+        if mttr_ns > self.targets_for(group_id).repair_segment_ns:
             self._violate(group_id, "repair")
 
     def degraded_time_ns(self, group_id: int,
@@ -243,6 +264,48 @@ class SLOTracker:
 
     # -- reporting ---------------------------------------------------------------
 
+    def fleet_fairness(self, group_ids: Optional[List[int]] = None,
+                       normalize: Optional[Dict[int, int]] = None
+                       ) -> Dict[str, Any]:
+        """Fleet-wide fairness over per-tenant p99 RPO lag.
+
+        Jain's index ``(Σx)² / (n·Σx²)`` is 1.0 when every tenant sees
+        the same tail lag and approaches ``1/n`` when one tenant
+        absorbs it all; the max/min ratio is the blunt companion
+        number.  Groups without commits are excluded (they have no
+        tail yet).
+
+        ``normalize`` maps group id → divisor (typically the tenant's
+        checkpoint period): a 50 ms tenant structurally carries 5× the
+        raw lag of a 10 ms tenant, so a mixed fleet is compared on
+        lag *per period* — equal multiples mean a fair scheduler.
+        Raw-lag min/max are always reported alongside."""
+        ids = sorted(self.groups) if group_ids is None else group_ids
+        raw: List[int] = []
+        scaled: List[float] = []
+        for gid in ids:
+            state = self.groups.get(gid)
+            if state is None or not state.rpo_lag.values:
+                continue
+            p99 = percentile_exact(state.rpo_lag.values, 99)
+            raw.append(p99)
+            divisor = 1 if normalize is None else max(1, normalize.get(gid, 1))
+            scaled.append(p99 / divisor)
+        n = len(scaled)
+        total = sum(scaled)
+        sumsq = sum(x * x for x in scaled)
+        jain = (total * total / (n * sumsq)) if sumsq else 1.0
+        lo, hi = (min(scaled), max(scaled)) if scaled else (0.0, 0.0)
+        ratio = (hi / lo) if lo else (1.0 if hi == 0 else float("inf"))
+        return {
+            "groups": n,
+            "normalized": normalize is not None,
+            "p99_rpo_min_ns": min(raw) if raw else 0,
+            "p99_rpo_max_ns": max(raw) if raw else 0,
+            "max_min_ratio": ratio,
+            "jain": jain,
+        }
+
     def violations(self, group_id: int, budget: str) -> int:
         return telemetry.registry().value("sls.slo.violations",
                                           group=group_id, budget=budget)
@@ -254,27 +317,28 @@ class SLOTracker:
             if group_id is not None and gid != group_id:
                 continue
             state = self.groups[gid]
+            targets = self.targets_for(gid)
             rows.append({
                 "group": gid,
                 "commits": state.commits,
                 "rpo_lag": state.rpo_lag.summary(),
                 "stop": state.stop.summary(),
                 "e2e": state.e2e.summary(),
-                "rpo_target_ns": self.targets.rpo_ns,
-                "stop_target_ns": self.targets.stop_ns,
+                "rpo_target_ns": targets.rpo_ns,
+                "stop_target_ns": targets.stop_ns,
                 "rpo_violations": self.violations(gid, "rpo"),
                 "stop_violations": self.violations(gid, "stop"),
                 "degraded_spells": len(state.degraded.values),
                 "degraded_total_ns": state.degraded_total_ns,
                 "degraded_open": state.degraded_since is not None,
-                "degraded_target_ns": self.targets.degraded_ns,
+                "degraded_target_ns": targets.degraded_ns,
                 "degraded_violations": self.violations(gid, "degraded"),
                 "quorum_lag": state.quorum_lag.summary(),
                 "failover": state.failover.summary(),
                 "repair_mttr": state.repair_mttr.summary(),
-                "quorum_target_ns": self.targets.quorum_ns,
-                "failover_target_ns": self.targets.failover_ns,
-                "repair_target_ns": self.targets.repair_segment_ns,
+                "quorum_target_ns": targets.quorum_ns,
+                "failover_target_ns": targets.failover_ns,
+                "repair_target_ns": targets.repair_segment_ns,
                 "quorum_violations": self.violations(gid, "quorum"),
                 "failover_violations": self.violations(gid, "failover"),
                 "repair_violations": self.violations(gid, "repair"),

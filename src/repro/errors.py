@@ -140,6 +140,13 @@ class RestoreError(SLSError):
     """A restore could not recreate the application."""
 
 
+class AdmissionRejected(SLSError):
+    """The fleet scheduler refused to admit a consistency group:
+    admitting it would push aggregate checkpoint demand past the
+    store's measured throughput (``sls attach`` with the ``reject``
+    admission policy)."""
+
+
 # --- cluster replication ---------------------------------------------------
 
 

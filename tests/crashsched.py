@@ -486,3 +486,196 @@ class ClusterScheduleExplorer:
         """Run the given boundaries; returns outcomes (callers assert)."""
         return [self.run_point(index, schedule, mode=mode)
                 for index in indices]
+
+
+# -- the fleet crash-schedule explorer ---------------------------------------
+
+
+class FleetTenant:
+    """One periodic tenant of the fleet workload."""
+
+    def __init__(self, proc, group, addr: int):
+        self.proc = proc
+        self.group = group
+        self.gid = group.group_id if group is not None else None
+        self.addr = addr
+
+
+class FleetRun:
+    """A booted machine with the pre-probe fleet attached."""
+
+    def __init__(self, machine, sls, tenants: List[FleetTenant]):
+        self.machine = machine
+        self.sls = sls
+        self.tenants = tenants
+
+
+class FleetWorkload:
+    """Fleet-scheduler boundaries made crash-enumerable.
+
+    Boot: two periodic tenants attach (their admit boundaries are
+    pre-probe — no plan is installed yet) and each is made durable at
+    tag 0 by a sync checkpoint.  The probed action then crosses every
+    fleet boundary kind at least once: a third tenant arrives
+    (``admit``), the loop runs several periods of EDF dispatches
+    (``dispatch``), and an inflated demand estimate forces the
+    backpressure controller to stretch a period (``widen``).
+
+    The oracle is per tenant: after a crash at any fleet boundary,
+    reboot + restore must yield exactly the tenant's newest durable
+    checkpoint — never older than any checkpoint whose commit was
+    acked before the crash, and never a torn state (every heap page
+    carries the same tag; each driver step rewrites the whole heap, so
+    any mixed-tag heap would be a non-atomic capture).
+    """
+
+    PERIOD_MS = 10
+    NPAGES = 6
+    STEPS = 8
+    STEP_MS = 5
+
+    def boot(self) -> FleetRun:
+        from repro.core import events
+        events.log().reset()
+        machine = Machine()
+        sls = load_aurora(machine)
+        tenants = [self._spawn(machine, sls, index) for index in range(2)]
+        for tenant in tenants:
+            sls.checkpoint(tenant.group, name="v1", sync=True)
+        return FleetRun(machine, sls, tenants)
+
+    def _spawn(self, machine, sls, index: int) -> FleetTenant:
+        from repro.units import MSEC
+        proc = machine.kernel.spawn(f"tenant{index}")
+        addr = proc.vmspace.mmap(self.NPAGES * PAGE_SIZE, name="heap")
+        tenant = FleetTenant(proc, None, addr)
+        self.fill(tenant, tag=0)
+        tenant.group = sls.attach(proc, name=f"tenant{index}",
+                                  period_ns=self.PERIOD_MS * MSEC)
+        tenant.gid = tenant.group.group_id
+        return tenant
+
+    def fill(self, tenant: FleetTenant, tag: int) -> None:
+        """Rewrite every heap page with one tag — the atomicity probe.
+        The tag prefix is identical on every page of one fill, so a
+        restored heap mixing prefixes is a torn capture."""
+        for page in range(self.NPAGES):
+            tenant.proc.vmspace.write(
+                tenant.addr + page * PAGE_SIZE,
+                b"tag:%06d/page:%d" % (tag, page))
+
+    def read_tags(self, proc, tenant: FleetTenant) -> List[bytes]:
+        return [proc.vmspace.read(tenant.addr + page * PAGE_SIZE, 10)
+                for page in range(self.NPAGES)]
+
+    def action(self, run: FleetRun) -> None:
+        """The probed sequence: admit, dispatch for a while, widen."""
+        from repro.units import MSEC
+        run.tenants.append(self._spawn(run.machine, run.sls, 2))
+        # An absurd measured demand makes the periodic backpressure
+        # check stretch this tenant until it hits the widen cap.
+        run.tenants[0].group.demand_bytes_per_ckpt = 1 << 40
+        for step in range(1, self.STEPS + 1):
+            for tenant in run.tenants:
+                self.fill(tenant, tag=step)
+            run.machine.run_for(self.STEP_MS * MSEC)
+
+
+class FleetOutcome:
+    """What one fleet crash-schedule run observed for one tenant."""
+
+    def __init__(self, index: int, boundary: Tuple[int, str], gid: int,
+                 restored_ckpt: int, durable_ckpt: int, acked_ckpt: int,
+                 tags: List[bytes]):
+        self.index = index
+        self.boundary = boundary
+        self.gid = gid
+        self.restored_ckpt = restored_ckpt
+        self.durable_ckpt = durable_ckpt
+        self.acked_ckpt = acked_ckpt
+        self.tags = tags
+
+    @property
+    def ok(self) -> bool:
+        return (self.restored_ckpt == self.durable_ckpt
+                and self.restored_ckpt >= self.acked_ckpt
+                and len(set(self.tags)) == 1)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "MISMATCH"
+        gid, boundary = self.boundary
+        return (f"FleetOutcome(#{self.index} {boundary}@g{gid} "
+                f"tenant={self.gid} restored={self.restored_ckpt} "
+                f"durable={self.durable_ckpt} acked>={self.acked_ckpt}, "
+                f"{status})")
+
+
+class FleetScheduleExplorer:
+    """Crashes the machine at every fleet-scheduler boundary and
+    checks the per-tenant durability oracle."""
+
+    def __init__(self, workload: Optional[FleetWorkload] = None):
+        self.workload = workload or FleetWorkload()
+
+    def _observe(self) -> FaultPlan:
+        run = self.workload.boot()
+        plan = FaultPlan(name="fleet-probe")
+        run.machine.set_fault_plan(plan)
+        self.workload.action(run)
+        return plan
+
+    def probe(self) -> List[Tuple[int, str]]:
+        """Discover the boundary schedule; assert it is deterministic
+        and crosses all three boundary kinds."""
+        first = self._observe()
+        second = self._observe()
+        assert first.fleet_log == second.fleet_log, \
+            "fleet boundary schedule is not deterministic"
+        kinds = {boundary for _, boundary in first.fleet_log}
+        assert kinds == {"admit", "dispatch", "widen"}, \
+            f"probe missed a fleet boundary kind: {kinds}"
+        return first.fleet_log
+
+    def run_point(self, index: int,
+                  schedule: List[Tuple[int, str]]) -> List[FleetOutcome]:
+        from repro.core import events
+        workload = self.workload
+        run = workload.boot()
+        plan = FaultPlan(name=f"fleet{index}")
+        plan.crash_at_fleet(index)
+        run.machine.set_fault_plan(plan)
+        try:
+            workload.action(run)
+        except InjectedCrash:
+            pass
+        assert plan.fired, f"fleet boundary {index}: crash never fired"
+
+        # Commits acked before the power failed: the durability floor.
+        acked = {}
+        for event in events.log().matching(kind=events.CKPT_COMMIT):
+            acked[event.fields["group"]] = max(
+                acked.get(event.fields["group"], 0),
+                event.fields["ckpt"])
+
+        run.machine.crash()
+        run.machine.boot()
+        sls = load_aurora(run.machine)
+        outcomes = []
+        for tenant in run.tenants:
+            if tenant.gid not in sls.restorable_groups():
+                # The third tenant's crash landed before its first
+                # durable checkpoint: nothing to restore, nothing lost.
+                assert tenant.gid not in acked
+                continue
+            durable = sls.store.find_latest_complete(tenant.gid).ckpt_id
+            result = sls.restore(tenant.gid, periodic=False)
+            tags = workload.read_tags(result.root, tenant)
+            outcomes.append(FleetOutcome(
+                index, schedule[index], tenant.gid, result.ckpt_id,
+                durable, acked.get(tenant.gid, 0), tags))
+        return outcomes
+
+    def sweep(self, indices: List[int],
+              schedule: List[Tuple[int, str]]) -> List[FleetOutcome]:
+        return [outcome for index in indices
+                for outcome in self.run_point(index, schedule)]

@@ -433,3 +433,63 @@ def test_crashed_checkpoint_trace_is_marked_incomplete():
     names = {s.name for s in crashed.spans}
     assert "ckpt.serialize" in names
     assert "ckpt.flush" not in names
+
+
+# -- fleet-scheduler boundaries ----------------------------------------------
+
+
+from tests.crashsched import FleetScheduleExplorer  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def fleet_explorer():
+    return FleetScheduleExplorer()
+
+
+@pytest.fixture(scope="module")
+def fleet_schedule(fleet_explorer):
+    """Probed (determinism-checked) fleet boundary schedule."""
+    return fleet_explorer.probe()
+
+
+def test_fleet_probe_crosses_every_boundary_kind(fleet_schedule):
+    """The probed action admits, dispatches and widens at least once,
+    and the admit of the late tenant precedes its dispatches."""
+    kinds = [boundary for _, boundary in fleet_schedule]
+    assert {"admit", "dispatch", "widen"} <= set(kinds)
+    late_gid = next(gid for gid, boundary in fleet_schedule
+                    if boundary == "admit")
+    first_admit = kinds.index("admit")
+    first_late_dispatch = next(
+        (index for index, (gid, boundary) in enumerate(fleet_schedule)
+         if boundary == "dispatch" and gid == late_gid),
+        len(fleet_schedule))
+    assert first_admit < first_late_dispatch
+
+
+def test_crash_at_fleet_control_boundaries_restores_durable_state(
+        fleet_explorer, fleet_schedule):
+    """Tier-1 slice: the admit and every widen boundary, plus the
+    first and last dispatch — each tenant restores exactly its newest
+    durable checkpoint, never a torn or lost one."""
+    dispatch_indices = [index for index, (_, boundary)
+                        in enumerate(fleet_schedule)
+                        if boundary == "dispatch"]
+    indices = sorted(
+        {index for index, (_, boundary) in enumerate(fleet_schedule)
+         if boundary in ("admit", "widen")}
+        | {dispatch_indices[0], dispatch_indices[-1]})
+    outcomes = fleet_explorer.sweep(indices, fleet_schedule)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    assert not failures, failures
+    # Later crashes never restore an older state than earlier ones.
+    assert outcomes, "sweep produced no restorable tenants"
+
+
+@pytest.mark.slow
+def test_fleet_exhaustive_boundary_sweep(fleet_explorer, fleet_schedule):
+    """Every fleet boundary of the probed action, exhaustively."""
+    outcomes = fleet_explorer.sweep(list(range(len(fleet_schedule))),
+                                    fleet_schedule)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    assert not failures, failures

@@ -142,3 +142,114 @@ def test_interleaved_periodic_groups(setup):
         machine.run_for(5 * MSEC)
     assert group_a.stats["checkpoints"] > 2.5 * group_b.stats["checkpoints"]
     assert group_b.stats["checkpoints"] >= 2
+
+
+# -- fleet contention --------------------------------------------------------
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import telemetry
+from repro.core.fleet import ADMIT_SERVICE_NS, TIME_UTIL_CAP
+
+
+def _spawn_fleet(machine, sls, specs, pages=4, **attach_kw):
+    """Attach one tenant per (period_ms) spec; returns the tenants."""
+    tenants = []
+    for index, period_ms in enumerate(specs):
+        proc = machine.kernel.spawn(f"c{index}")
+        addr = proc.vmspace.mmap(pages * PAGE_SIZE, name="heap")
+        group = sls.attach(proc, name=f"c{index}",
+                           period_ns=period_ms * MSEC, **attach_kw)
+        tenants.append((proc, group, addr))
+    return tenants
+
+
+def test_contention_same_period_tenants_stay_fair(setup):
+    """Eight tenants with identical periods all dirtying every step:
+    the stagger shares the store, nobody misses, and checkpoint counts
+    stay within one tick of each other."""
+    machine, sls = setup
+    telemetry.reset()
+    tenants = _spawn_fleet(machine, sls, [20] * 8)
+    for step in range(30):
+        for proc, _group, addr in tenants:
+            proc.vmspace.write(addr, b"step:%d" % step)
+        machine.run_for(10 * MSEC)
+    counts = [group.stats["checkpoints"] for _p, group, _a in tenants]
+    assert max(counts) - min(counts) <= 1, counts
+    assert all(group.deadline_misses == 0 for _p, group, _a in tenants)
+    assert sls.fleet.summary()["fairness"]["jain"] >= 0.9
+    telemetry.reset()
+
+
+def test_contention_offender_widens_but_neighbours_keep_cadence(setup):
+    """One tenant's runaway measured demand draws all backpressure;
+    the other tenants keep their requested cadence and miss nothing."""
+    machine, sls = setup
+    telemetry.reset()
+    tenants = _spawn_fleet(machine, sls, [10, 10, 10, 10])
+    _p, offender, _a = tenants[0]
+    offender.demand_bytes_per_ckpt = 1 << 42
+    for step in range(30):
+        for proc, _group, addr in tenants:
+            proc.vmspace.write(addr, b"step:%d" % step)
+        machine.run_for(10 * MSEC)
+    assert offender.backpressure_factor > 1
+    for _p2, other, _a2 in tenants[1:]:
+        assert other.backpressure_factor == 1
+        assert other.deadline_misses == 0
+        assert other.stats["checkpoints"] >= 20
+    telemetry.reset()
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.lists(st.sampled_from([10, 20, 25, 40, 50, 100]),
+                min_size=1, max_size=8))
+def test_edf_never_misses_for_feasible_demand_sets(periods_ms):
+    """The EDF property: any demand set whose admission-time
+    utilization fits well inside the cap schedules with zero deadline
+    misses."""
+    utilization = sum(ADMIT_SERVICE_NS / (p * MSEC) for p in periods_ms)
+    if utilization > TIME_UTIL_CAP / 2:
+        return  # infeasible by construction; admission's problem
+    telemetry.reset()
+    machine = Machine()
+    sls = load_aurora(machine)
+    tenants = _spawn_fleet(machine, sls, periods_ms, history_limit=2)
+    for step in range(20):
+        for proc, _group, addr in tenants:
+            proc.vmspace.write(addr, b"step:%d" % step)
+        machine.run_for(10 * MSEC)
+    for _proc, group, _addr in tenants:
+        assert group.deadline_misses == 0, \
+            (periods_ms, group.name, group.deadline_misses)
+        assert group.stats["checkpoints"] >= \
+            (20 * 10 * MSEC) // (2 * group.period_ns)
+    telemetry.reset()
+
+
+@pytest.mark.slow
+def test_256_group_sweep_all_admitted_none_miss(setup):
+    """The fleet holds 256 concurrent groups on one machine: all admit
+    (aggregate demand fits), every tenant checkpoints, nobody misses a
+    deadline, and the normalized fairness stays high."""
+    machine, sls = setup
+    telemetry.reset()
+    specs = [(100, 200, 400)[index % 3] for index in range(256)]
+    tenants = _spawn_fleet(machine, sls, specs, pages=2,
+                           history_limit=2)
+    assert len(sls.groups) == 256
+    for step in range(130):
+        for proc, _group, addr in tenants:
+            proc.vmspace.write(addr, b"s:%d" % step)
+        machine.run_for(10 * MSEC)
+    for _proc, group, _addr in tenants:
+        assert group.deadline_misses == 0
+        assert group.stats["checkpoints"] >= 2
+    summary = sls.fleet.summary()
+    assert summary["tenants"] == 256
+    assert summary["deadline_misses"] == 0
+    assert summary["fairness"]["jain"] >= 0.9
+    telemetry.reset()
