@@ -280,18 +280,34 @@ def cmd_metrics(args) -> int:
 def cmd_events(args) -> int:
     """``sls events``: the structured event log of the measurement run."""
     from . import events as events_mod
+    from . import telemetry
 
     _measure(args)
     log = events_mod.log()
-    entries = list(log)[-args.limit:] if args.limit else list(log)
+    registry = telemetry.registry()
+    dropped = registry.value("sls.telemetry.events_dropped")
+    traces_dropped = registry.value("sls.telemetry.traces_dropped")
+    entries = list(log)
+    if args.kind:
+        entries = [e for e in entries if e.kind.startswith(args.kind)]
+    if args.since is not None:
+        entries = [e for e in entries if e.time_ns >= args.since]
+    shown = entries[-args.limit:] if args.limit else entries
+    print(f"events: {len(log)} retained, events_dropped={dropped}, "
+          f"traces_dropped={traces_dropped}")
     print(f"{'TIME':>14}  {'TRACE':>6}  {'KIND':<18} FIELDS")
-    for event in entries:
+    if dropped:
+        # The ring wrapped: history older than the listing was
+        # evicted; mark the discontinuity explicitly.
+        print(f"{'...':>14}  {'-':>6}  {'(gap)':<18} "
+              f"{dropped} earlier event(s) evicted by ring wrap")
+    for event in shown:
         trace = event.trace_id if event.trace_id is not None else "-"
         fields = " ".join(f"{k}={v}" for k, v in event.fields.items()
                           if v is not None)
         print(f"{fmt_time(event.time_ns):>14}  {trace:>6}  "
               f"{event.kind:<18} {fields}")
-    print(f"{len(log)} event(s) in the log")
+    print(f"{len(shown)} of {len(log)} event(s) in the log")
     return 0
 
 
@@ -550,6 +566,132 @@ def cmd_scrub(args) -> int:
     return 1
 
 
+def cmd_blackbox(args) -> int:
+    """``sls blackbox``: recover the flight recorder of a (possibly
+    crashed, possibly unmountable) image and print the timeline
+    leading up to the crash.
+
+    The recorder rides the commit protocol — the newest valid
+    superblock anchors the snapshot taken just before its own flip —
+    so the reconstruction needs no mount and works on stores whose
+    catalog is too damaged for ``load_aurora``.  Exit status 1 when
+    the image predates the recorder (no anchor in any superblock).
+    """
+    from ..objstore.store import ObjectStore
+    from . import flightrec
+    from .orchestrator import load_aurora
+
+    machine = _boot_from_image(args.image)
+    try:
+        sls = load_aurora(machine)
+        store = sls.store
+    except StoreError:
+        store = ObjectStore(machine)
+    box = flightrec.blackbox(store)
+    if box is None:
+        print(f"{args.image}: no flight recorder snapshot found")
+        return 1
+    snap = box.snapshot
+    print(f"black box of {args.image}: generation {box.generation}, "
+          f"snapshot at {fmt_time(snap.get('time_ns', 0))}, "
+          f"{len(box.events)} event(s), "
+          f"{len(snap.get('spans') or [])} span(s), "
+          f"{len(snap.get('slo') or [])} tenant(s)")
+    print(f"ring: {snap.get('events_retained', 0)} retained, "
+          f"events_dropped={snap.get('events_dropped', 0)}, "
+          f"traces_dropped={snap.get('traces_dropped', 0)}")
+    for row in snap.get("slo") or []:
+        print(f"  tenant {row.get('tenant') or row.get('group')}: "
+              f"{row.get('commits', 0)} commit(s), "
+              f"rpo_burn={row.get('rpo_burn_milli', 0)}m "
+              f"quorum_burn={row.get('quorum_burn_milli', 0)}m "
+              f"degraded={'open' if row.get('degraded_open') else '-'}")
+    limit = args.limit
+    timeline = box.timeline()
+    shown = timeline[-limit:] if limit else timeline
+    print(f"{'TIME':>14}  {'TRACE':>6}  {'KIND':<24} FIELDS")
+    for row in shown:
+        trace = row.get("trace_id")
+        fields = " ".join(f"{k}={v}"
+                          for k, v in (row.get("fields") or {}).items()
+                          if v is not None)
+        marker = " *" if row.get("synthetic") else ""
+        print(f"{fmt_time(row['time_ns']):>14}  "
+              f"{trace if trace is not None else '-':>6}  "
+              f"{row['kind']:<24} {fields}{marker}")
+    last = box.last_durable
+    if last is not None:
+        fields = last.get("fields") or {}
+        print(f"last durable commit: group {fields.get('group', '?')} "
+              f"ckpt {fields.get('ckpt', '?')}"
+              + (f" ({fields['name']})" if fields.get("name") else "")
+              + f" at {fmt_time(last['time_ns'])}")
+    else:
+        print("last durable commit: none recorded")
+    return 0
+
+
+def cmd_top(args) -> int:
+    """``sls top``: fleet drill-down — per-tenant SLO burn rates,
+    quorum lag, degraded state and recent burn-rate alerts.
+
+    Drives ``--tenants`` synthetic applications through fleet
+    admission for ``--millis`` of simulated time (like ``sls fleet``)
+    and prints the SLO tracker's live burn-rate view: the fast-burn
+    column is the recent-window budget consumption in milli-units
+    (1000m = consuming exactly the budget; alerts fire at 2000m).
+    The image is not modified.
+    """
+    from . import events as events_mod
+
+    machine, sls = _load(args.image)
+    kernel = machine.kernel
+    periods = [10, 25, 50]
+    groups = []
+    for index in range(args.tenants):
+        proc = kernel.spawn(f"tenant{index}")
+        nbytes = 32 * KiB
+        addr = proc.vmspace.mmap(nbytes, name="heap")
+        proc.vmspace.fill(addr, nbytes // PAGE_SIZE, seed=index)
+        period_ms = periods[index % len(periods)]
+        group = sls.attach(proc, name=f"tenant{index}",
+                           period_ns=period_ms * MSEC,
+                           rpo_budget_ns=4 * period_ms * MSEC)
+        groups.append((proc, addr, group))
+    deadline = machine.clock.now() + args.millis * MSEC
+    step = 0
+    while machine.clock.now() < deadline:
+        step += 1
+        for proc, addr, group in groups:
+            proc.vmspace.write(addr, f"{group.name}:{step}".encode())
+        machine.run_for(5 * MSEC)
+
+    fleet_rows = {row["group"]: row for row in sls.fleet.report()}
+    print(f"{'GROUP':>5}  {'TENANT':<10} {'CKPTS':>5} "
+          f"{'RPO BURN':>8} {'QUORUM BURN':>11} {'P99 QLAG':>10} "
+          f"{'DEGRADED':<8} {'MISS':>4} {'ALERTS':>6}")
+    for row in sls.slo.report():
+        fleet = fleet_rows.get(row["group"], {})
+        qlag = row["quorum_lag"]
+        print(f"{row['group']:>5}  {row['tenant'] or '-':<10} "
+              f"{row['commits']:>5} "
+              f"{row['rpo_burn_milli']:>7}m "
+              f"{row['quorum_burn_milli']:>10}m "
+              f"{fmt_time(qlag['p99']):>10} "
+              f"{fleet.get('degraded') or '-':<8} "
+              f"{fleet.get('deadline_misses', 0):>4} "
+              f"{row['alerts']:>6}")
+    alerts = events_mod.log().matching(kind=events_mod.SLO_ALERT)
+    print(f"{len(alerts)} burn-rate alert(s)")
+    for event in alerts[-args.limit:] if args.limit else alerts:
+        fields = event.fields
+        print(f"  {fmt_time(event.time_ns):>14}  "
+              f"tenant {fields.get('tenant') or fields.get('group')} "
+              f"{fields.get('budget')} burn {fields.get('burn_milli')}m "
+              f"(threshold {fields.get('threshold_milli')}m)")
+    return 0
+
+
 def cmd_checkpoint(args) -> int:
     """``sls checkpoint``: take a named full checkpoint."""
     machine, sls = _load(args.image)
@@ -782,7 +924,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measurement checkpoints to run (default 10)")
     p.add_argument("--limit", type=int, default=0,
                    help="only show the newest N events")
+    p.add_argument("--kind", default=None,
+                   help="only events whose kind has this prefix")
+    p.add_argument("--since", type=int, default=None, metavar="NS",
+                   help="only events at or after this sim time (ns)")
     p.set_defaults(func=cmd_events)
+
+    p = sub.add_parser("blackbox",
+                       help="recover a crashed image's flight recorder")
+    p.add_argument("image")
+    p.add_argument("--limit", type=int, default=0,
+                   help="only show the newest N timeline rows")
+    p.set_defaults(func=cmd_blackbox)
+
+    p = sub.add_parser("top", help="per-tenant SLO burn-rate table")
+    p.add_argument("image")
+    p.add_argument("--tenants", type=int, default=4,
+                   help="synthetic tenants to admit (default 4)")
+    p.add_argument("--millis", type=int, default=400,
+                   help="simulated milliseconds to run (default 400)")
+    p.add_argument("--limit", type=int, default=0,
+                   help="only show the newest N alerts")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("cluster", help="quorum-replicated cluster status")
     p.add_argument("image")

@@ -50,7 +50,7 @@ from ..errors import ClusterError, QuorumLost, RetriesExhausted, SLSError, \
     StaleReplica
 from ..machine import Machine
 from ..units import USEC, fmt_size
-from . import events, migration, telemetry
+from . import events, migration, telemetry, tracing
 from .faults import FaultPlan
 from .group import ConsistencyGroup
 from .orchestrator import Orchestrator, load_aurora
@@ -202,23 +202,39 @@ class SegmentedLink(ReplicationLink):
             plan.on_repl(node.node_id, B_SHIP)
             plan.on_link()
         manifest, payloads = cluster.shards_for(ckpt_id)
-        # The whole delta crosses the fabric to this node; wire time
-        # is charged on the primary's clock like any ``sls send``.
-        wire = self.src_sls.machine.nic.send(manifest.total_bytes)
-        self._clock().advance(wire)
-        self.stats["streams"] += 1
-        self.stats["bytes"] += manifest.total_bytes
-        cluster.account_transfer(cluster.primary_az, node.az,
-                                 manifest.total_bytes)
-        if plan is not None:
-            plan.on_repl(node.node_id, B_DELIVER)
-        stream = assemble(manifest,
-                          {meta.index: payloads[meta.index]
-                           for meta in manifest.segments})
-        node.apply(ckpt_id, stream)
-        node.shards[ckpt_id] = (manifest, payloads)
-        if plan is not None:
-            plan.on_repl(node.node_id, B_APPLY)
+        ctx = manifest.trace_ctx
+        registry = telemetry.registry()
+        clock = self._clock()
+        labels: Dict[str, Any] = {"group": self.group.group_id,
+                                  "node": node.node_id, "ckpt": ckpt_id}
+        if ctx is not None and ctx.tenant is not None:
+            labels["tenant"] = ctx.tenant
+        # Replica-side legs record into the originating checkpoint
+        # trace (resolved from the shipped context) so one trace spans
+        # primary → replicas; spans never advance the clock or touch
+        # the fault plan, keeping crash schedules identical.
+        with tracing.use(ctx.resolve() if ctx is not None else None):
+            with registry.span(clock, "repl.ship", **labels):
+                # The whole delta crosses the fabric to this node;
+                # wire time is charged on the primary's clock like any
+                # ``sls send``.
+                wire = self.src_sls.machine.nic.send(manifest.total_bytes)
+                self._clock().advance(wire)
+            self.stats["streams"] += 1
+            self.stats["bytes"] += manifest.total_bytes
+            cluster.account_transfer(cluster.primary_az, node.az,
+                                     manifest.total_bytes)
+            if plan is not None:
+                plan.on_repl(node.node_id, B_DELIVER)
+            with registry.span(clock, "repl.deliver", **labels):
+                stream = assemble(manifest,
+                                  {meta.index: payloads[meta.index]
+                                   for meta in manifest.segments})
+            with registry.span(clock, "repl.apply", **labels):
+                node.apply(ckpt_id, stream)
+            node.shards[ckpt_id] = (manifest, payloads)
+            if plan is not None:
+                plan.on_repl(node.node_id, B_APPLY)
 
     def ship_checkpoint(self, ckpt_id: int) -> bool:
         """Ship one checkpoint to this node; True once it is on the
@@ -352,7 +368,25 @@ class SLSCluster:
             cached = shard_stream(self.gid, ckpt_id, stream,
                                   self.segment_bytes)
             self._streams[ckpt_id] = cached
+        if cached[0].trace_ctx is None:
+            cached[0].trace_ctx = self._capture_ctx()
         return cached
+
+    def _capture_ctx(self) -> Optional["tracing.TraceContext"]:
+        """The trace context replication ships with a delta: the live
+        checkpoint trace when one is open, else the group's newest
+        finished checkpoint trace (the sync-commit hook runs *after*
+        the trace scope closed, so the commit that triggered this pump
+        is the ring's tail)."""
+        ctx = tracing.TraceContext.capture(tenant=self.group.name)
+        if ctx is not None:
+            return ctx
+        finished = tracing.tracer().traces(tracing.CHECKPOINT,
+                                           group=self.gid)
+        if finished:
+            return tracing.TraceContext.capture(finished[-1],
+                                                tenant=self.group.name)
+        return None
 
     def up_nodes(self) -> List[ClusterNode]:
         return [node for node in self.nodes if not node.down]
@@ -420,6 +454,7 @@ class SLSCluster:
                     health.record_success()
                     acks.add(node.node_id)
                     self.stats["acks"] += 1
+                    self._ack_span(ckpt, node)
                     self._maybe_advance(ckpt)
                 else:
                     health.record_failure(clock.now())
@@ -434,6 +469,20 @@ class SLSCluster:
                                          group=self.gid).add(1)
         return self.durable
 
+    def _ack_span(self, ckpt: int, node: ClusterNode) -> None:
+        """A zero-duration span marking the primary registering one
+        node's acknowledgement, in the originating checkpoint trace."""
+        cached = self._streams.get(ckpt)
+        ctx = cached[0].trace_ctx if cached is not None else None
+        labels: Dict[str, Any] = {"group": self.gid, "node": node.node_id,
+                                  "ckpt": ckpt}
+        if ctx is not None and ctx.tenant is not None:
+            labels["tenant"] = ctx.tenant
+        with tracing.use(ctx.resolve() if ctx is not None else None):
+            now = self._clock().now()
+            telemetry.registry().record_span("repl.ack", now, now,
+                                             **labels)
+
     def _maybe_advance(self, ckpt: int) -> None:
         if len(self.acks.get(ckpt, ())) < self.write_quorum:
             return
@@ -445,10 +494,10 @@ class SLSCluster:
         lag = clock.now() - self._commit_seen.get(ckpt, clock.now())
         events.emit(clock.now(), events.QUORUM_ACK, group=self.gid,
                     ckpt=ckpt, acks=len(self.acks[ckpt]),
-                    lag_ns=lag)
+                    lag_ns=lag, tenant=self.group.name)
         telemetry.registry().histogram("sls.cluster.quorum_lag",
                                        group=self.gid).observe(lag)
-        self.primary.slo.on_quorum_ack(self.gid, lag)
+        self.primary.slo.on_quorum_ack(self.gid, lag, now_ns=clock.now())
 
     # -- continuous operation ---------------------------------------------
 
@@ -747,22 +796,34 @@ class SLSCluster:
         the target's updated queue time and the segment count."""
         plan = self._plan()
         manifest, payloads = self._segments_from(holders, ckpt)
+        ctx = manifest.trace_ctx
+        labels: Dict[str, Any] = {"group": self.gid,
+                                  "node": target.node_id, "ckpt": ckpt}
+        if ctx is not None and ctx.tenant is not None:
+            labels["tenant"] = ctx.tenant
+        registry = telemetry.registry()
+        repair_start = self._clock().now()
         gathered: Dict[int, bytes] = {}
         elapsed = queue_ns
-        for meta in manifest.segments:
-            if plan is not None:
-                plan.on_repl(target.node_id, B_REPAIR)
-            donor = holders[meta.index % len(holders)]
-            payload = payloads[meta.index]
-            meta.verify(payload)
-            gathered[meta.index] = payload
-            elapsed += (target.machine.nic.transfer_time(
-                max(meta.length, 1)) + SEGMENT_REBUILD_COST_NS)
-            self.account_transfer(donor.az, target.az, meta.length)
-            hist.observe(elapsed)
-            self.primary.slo.on_repair_segment(self.gid, elapsed)
-        stream = assemble(manifest, gathered)
-        target.apply(ckpt, stream)
+        with tracing.use(ctx.resolve() if ctx is not None else None):
+            for meta in manifest.segments:
+                if plan is not None:
+                    plan.on_repl(target.node_id, B_REPAIR)
+                donor = holders[meta.index % len(holders)]
+                payload = payloads[meta.index]
+                meta.verify(payload)
+                gathered[meta.index] = payload
+                elapsed += (target.machine.nic.transfer_time(
+                    max(meta.length, 1)) + SEGMENT_REBUILD_COST_NS)
+                self.account_transfer(donor.az, target.az, meta.length)
+                hist.observe(elapsed)
+                self.primary.slo.on_repair_segment(self.gid, elapsed)
+            stream = assemble(manifest, gathered)
+            target.apply(ckpt, stream)
+            registry.record_span("repl.repair", repair_start,
+                                 self._clock().now(),
+                                 segments=len(manifest.segments),
+                                 **labels)
         target.shards[ckpt] = (manifest, payloads)
         events.emit(self._clock().now(), events.SEGMENT_REPAIRED,
                     group=self.gid, node=target.node_id, ckpt=ckpt,

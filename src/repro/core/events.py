@@ -59,6 +59,7 @@ FLEET_EVICT = "fleet.evict"
 ADMISSION_REJECT = "fleet.admission_reject"
 BACKPRESSURE = "fleet.backpressure"
 DEADLINE_MISS = "fleet.deadline_miss"
+SLO_ALERT = "slo.alert"
 
 
 class Event:

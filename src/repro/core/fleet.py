@@ -199,7 +199,7 @@ class FleetScheduler:
         if widen > 1:
             if policy == ADMIT_REJECT or widen > MAX_WIDEN_FACTOR:
                 events.emit(now, events.ADMISSION_REJECT,
-                            group=group.group_id,
+                            group=group.group_id, tenant=group.name,
                             demand_bps=self._demand_bps(group),
                             aggregate_bps=self.aggregate_demand_bps(),
                             capacity_bps=self.capacity_bps())
@@ -213,7 +213,7 @@ class FleetScheduler:
                     f"over {TIME_UTIL_CAP})")
             group.backpressure_factor = widen
             events.emit(now, events.BACKPRESSURE, group=group.group_id,
-                        action="admit_widen", factor=widen,
+                        tenant=group.name, action="admit_widen", factor=widen,
                         effective_period_ns=self.effective_period(group))
             self.telemetry.counter("sls.fleet.backpressure_widens",
                                    group=group.group_id).add(1)
@@ -230,7 +230,7 @@ class FleetScheduler:
         self._set_deadline(entry, now + period + phase)
         self._register_budgets(group)
         events.emit(now, events.FLEET_ADMIT, group=group.group_id,
-                    period_ns=group.period_ns, factor=group.backpressure_factor,
+                    tenant=group.name, period_ns=group.period_ns, factor=group.backpressure_factor,
                     phase_ns=phase)
         self.telemetry.counter("sls.fleet.admitted").add(1)
         self._rearm()
@@ -273,7 +273,7 @@ class FleetScheduler:
             return
         entry.cancelled = True
         events.emit(self.clock.now(), events.FLEET_EVICT,
-                    group=group.group_id)
+                    group=group.group_id, tenant=group.name)
         self._rearm()
 
     # -- demand accounting -------------------------------------------------
@@ -408,7 +408,8 @@ class FleetScheduler:
             self.telemetry.counter("sls.fleet.deadline_misses",
                                    group=group.group_id).add(1)
             events.emit(start_ns, events.DEADLINE_MISS,
-                        group=group.group_id, lateness_ns=lateness,
+                        group=group.group_id, tenant=group.name,
+                        lateness_ns=lateness,
                         slack_ns=slack)
         if group.flush_in_progress:
             # A flush overrunning the period delays the next
@@ -524,7 +525,8 @@ class FleetScheduler:
             self._fault_boundary(offender.group_id, "widen")
             offender.backpressure_factor *= 2
             events.emit(now, events.BACKPRESSURE,
-                        group=offender.group_id, action="widen",
+                        group=offender.group_id, tenant=offender.name,
+                        action="widen",
                         factor=offender.backpressure_factor,
                         effective_period_ns=self.effective_period(offender))
             self.telemetry.counter("sls.fleet.backpressure_widens",
@@ -552,7 +554,7 @@ class FleetScheduler:
                 group.backpressure_factor = saved
                 continue
             events.emit(now, events.BACKPRESSURE, group=group.group_id,
-                        action="relax", factor=halved,
+                        tenant=group.name, action="relax", factor=halved,
                         effective_period_ns=self.effective_period(group))
             break
 

@@ -60,6 +60,9 @@ class Orchestrator:
         self.pipeline = CheckpointPipeline()
         self.telemetry = telemetry.registry()
         self.slo = slo.SLOTracker()
+        # The flight recorder snapshots per-tenant SLO state through
+        # the store it rides; give it the live tracker.
+        store._slo_tracker = self.slo
         #: The fleet control plane: one EDF queue owns every periodic
         #: checkpoint (admission control, stagger, backpressure,
         #: per-tenant degraded ticks).
@@ -116,6 +119,7 @@ class Orchestrator:
         for member in proc.tree():
             group.add_process(member)
         self.groups[group.group_id] = group
+        self.slo.tenant_names[group.group_id] = group.name
         if periodic:
             try:
                 self.fleet.admit(group,
@@ -226,9 +230,11 @@ class Orchestrator:
                                 sync=sync, mode=mode)
         clock = self.kernel.clock
         with tracing.trace(clock, tracing.CHECKPOINT,
-                           group=group.group_id, mode=mode) as trace_obj:
+                           group=group.group_id, mode=mode,
+                           tenant=group.name) as trace_obj:
             events.emit(clock.now(), events.CKPT_START,
-                        group=group.group_id, mode=mode)
+                        group=group.group_id, mode=mode,
+                        tenant=group.name)
             try:
                 result = self.pipeline.run(ctx)
             except Exception as exc:

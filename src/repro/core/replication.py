@@ -26,7 +26,7 @@ from typing import Optional
 
 from ..errors import MachineCrashed, RetriesExhausted, SLSError
 from ..units import MSEC
-from . import events, migration, telemetry
+from . import events, migration, telemetry, tracing
 from .resilience import RetryPolicy
 
 #: An outage must last this long before failover is permitted.
@@ -62,17 +62,28 @@ class ReplicationLink:
         plan = getattr(self.src_sls.machine, "fault_plan", None)
         if plan is not None:
             plan.on_link()
-        if self.last_shipped is None:
-            stream = migration.send_checkpoint(self.src_sls,
-                                               self.group.group_id,
-                                               ckpt_id=newest)
-            self.stats["full_syncs"] += 1
-        else:
-            stream = migration.send_checkpoint(self.src_sls,
-                                               self.group.group_id,
-                                               ckpt_id=newest,
-                                               since=self.last_shipped)
-        migration.recv_checkpoint(self.dst_sls, stream)
+        # Attribute the standby leg to the newest checkpoint trace of
+        # this group, when one exists — same propagation rule as the
+        # quorum cluster's legs (spans never advance the clock).
+        ctx = tracing.TraceContext.capture()
+        if ctx is None:
+            finished = tracing.tracer().traces(tracing.CHECKPOINT,
+                                               group=self.group.group_id)
+            if finished:
+                ctx = tracing.TraceContext.capture(finished[-1])
+        with tracing.use(ctx.resolve() if ctx is not None else None):
+            with telemetry.registry().span(self._clock(), "repl.ship",
+                                           group=self.group.group_id,
+                                           ckpt=newest):
+                if self.last_shipped is None:
+                    stream = migration.send_checkpoint(
+                        self.src_sls, self.group.group_id, ckpt_id=newest)
+                    self.stats["full_syncs"] += 1
+                else:
+                    stream = migration.send_checkpoint(
+                        self.src_sls, self.group.group_id, ckpt_id=newest,
+                        since=self.last_shipped)
+                migration.recv_checkpoint(self.dst_sls, stream)
         self.stats["streams"] += 1
         self.stats["bytes"] += len(stream)
 

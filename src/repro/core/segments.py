@@ -86,7 +86,7 @@ class ShardManifest:
     """
 
     __slots__ = ("group_id", "ckpt_id", "total_bytes", "segment_bytes",
-                 "segments")
+                 "segments", "trace_ctx")
 
     def __init__(self, group_id: int, ckpt_id: int, total_bytes: int,
                  segment_bytes: int, segments: List[SegmentMeta]):
@@ -95,6 +95,11 @@ class ShardManifest:
         self.total_bytes = total_bytes
         self.segment_bytes = segment_bytes
         self.segments = segments
+        #: Distributed trace context (a ``tracing.TraceContext`` or
+        #: ``None``): the checkpoint trace this delta's replication
+        #: belongs to, stamped by the primary and carried on the wire
+        #: so replica-side spans land in the originating trace.
+        self.trace_ctx = None
 
     def __len__(self) -> int:
         return len(self.segments)

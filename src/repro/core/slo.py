@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..units import MSEC, SEC
+from . import events as events_mod
 from . import telemetry, tracing
 
 #: Default budgets: one 100 Hz period of recovery-point lag, and the
@@ -51,6 +52,15 @@ DEFAULT_REPAIR_SEGMENT_NS = 10 * SEC
 
 #: Exact samples kept per series (oldest dropped beyond this).
 SAMPLE_CAPACITY = 65536
+
+#: Burn-rate alerting: the recent window of samples the rate is
+#: computed over, the minimum samples before alerting (a single bad
+#: first commit is noise, not a burn), and the edge-trigger threshold
+#: in milli-units (2000 = consuming budget at 2x the sustainable
+#: rate — the classic "fast burn" page).
+BURN_WINDOW = 32
+BURN_MIN_SAMPLES = 4
+BURN_ALERT_MILLI = 2000
 
 
 def percentile_exact(values: List[int], p: float) -> int:
@@ -156,6 +166,13 @@ class SLOTracker:
         #: explicit budgets land here; everyone else inherits
         #: ``self.targets``).
         self.group_targets: Dict[int, SLOTargets] = {}
+        #: Tenant attribution: group id -> tenant name, threaded in by
+        #: the orchestrator at attach time so alerts and reports carry
+        #: who, not just which group.
+        self.tenant_names: Dict[int, str] = {}
+        #: Edge-trigger state per (group, budget): True while burning
+        #: over threshold, so an alert fires once per excursion.
+        self._burning: Dict[tuple, bool] = {}
 
     def set_group_targets(self, group_id: int, **overrides: int) -> None:
         """Install per-tenant budgets for one group (merged over the
@@ -177,6 +194,57 @@ class SLOTracker:
         telemetry.registry().counter("sls.slo.violations",
                                      group=group_id,
                                      budget=budget).add(1)
+
+    # -- burn-rate alerting -------------------------------------------------------
+
+    def _burn_series(self, group_id: int, budget: str) -> tuple:
+        state = self._group(group_id)
+        targets = self.targets_for(group_id)
+        table = {"rpo": (state.rpo_lag, targets.rpo_ns),
+                 "stop": (state.stop, targets.stop_ns),
+                 "quorum": (state.quorum_lag, targets.quorum_ns)}
+        if budget not in table:
+            raise ValueError(f"no burn rate for budget {budget!r}")
+        return table[budget]
+
+    def burn_rate_milli(self, group_id: int, budget: str,
+                        window: int = BURN_WINDOW) -> int:
+        """Budget consumption rate over the recent sample window, in
+        milli-units: 1000 means the tenant consumes its budget exactly
+        as fast as it accrues; 2000 burns it at twice the sustainable
+        rate.  0 with no samples."""
+        series, target = self._burn_series(group_id, budget)
+        recent = series.values[-window:]
+        if not recent or target <= 0:
+            return 0
+        return sum(recent) * 1000 // (len(recent) * target)
+
+    def _check_burn(self, group_id: int, budget: str,
+                    now_ns: int) -> None:
+        """Edge-triggered burn-rate alert: emits one ``slo.alert``
+        event when a budget's recent burn crosses the threshold, and
+        re-arms once it drops back under."""
+        series, _target = self._burn_series(group_id, budget)
+        if len(series.values) < BURN_MIN_SAMPLES:
+            return
+        burn = self.burn_rate_milli(group_id, budget)
+        key = (group_id, budget)
+        burning = burn >= BURN_ALERT_MILLI
+        if burning and not self._burning.get(key, False):
+            events_mod.emit(now_ns, events_mod.SLO_ALERT,
+                            group=group_id,
+                            tenant=self.tenant_names.get(group_id),
+                            budget=budget, burn_milli=burn,
+                            threshold_milli=BURN_ALERT_MILLI,
+                            window=min(len(series.values), BURN_WINDOW))
+            telemetry.registry().counter("sls.slo.alerts",
+                                         group=group_id,
+                                         budget=budget).add(1)
+        self._burning[key] = burning
+
+    def alerts(self, group_id: int, budget: str) -> int:
+        return telemetry.registry().value("sls.slo.alerts",
+                                          group=group_id, budget=budget)
 
     # -- the orchestrator feed ----------------------------------------------------
 
@@ -206,6 +274,7 @@ class SLOTracker:
         state.commits += 1
         if lag > self.targets_for(group_id).rpo_ns:
             self._violate(group_id, "rpo")
+        self._check_burn(group_id, "rpo", commit_ns)
 
     def on_degraded_enter(self, group_id: int, now_ns: int) -> None:
         """The group entered degraded mode; the spell clock starts."""
@@ -229,13 +298,17 @@ class SLOTracker:
 
     # -- the cluster feed ---------------------------------------------------------
 
-    def on_quorum_ack(self, group_id: int, lag_ns: int) -> None:
+    def on_quorum_ack(self, group_id: int, lag_ns: int,
+                      now_ns: Optional[int] = None) -> None:
         """A checkpoint reached its write quorum ``lag_ns`` after the
         cluster first saw it committed."""
         state = self._group(group_id)
         state.quorum_lag.add(lag_ns)
         if lag_ns > self.targets_for(group_id).quorum_ns:
             self._violate(group_id, "quorum")
+        if now_ns is None:
+            now_ns = (state.last_durable_capture or 0) + lag_ns
+        self._check_burn(group_id, "quorum", now_ns)
 
     def on_failover(self, group_id: int, failover_ns: int) -> None:
         """A standby node was promoted to primary."""
@@ -320,7 +393,13 @@ class SLOTracker:
             targets = self.targets_for(gid)
             rows.append({
                 "group": gid,
+                "tenant": self.tenant_names.get(gid),
                 "commits": state.commits,
+                "rpo_burn_milli": self.burn_rate_milli(gid, "rpo"),
+                "quorum_burn_milli": self.burn_rate_milli(gid, "quorum"),
+                "alerts": (self.alerts(gid, "rpo")
+                           + self.alerts(gid, "stop")
+                           + self.alerts(gid, "quorum")),
                 "rpo_lag": state.rpo_lag.summary(),
                 "stop": state.stop.summary(),
                 "e2e": state.e2e.summary(),

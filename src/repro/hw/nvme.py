@@ -206,6 +206,25 @@ class NVMeDevice:
         """
         self._extents[offset] = payload
 
+    def place_extent(self, offset: int, payload: Payload) -> None:
+        """Stage a payload onto media with zero simulated cost.
+
+        The observability sidecar path (the flight recorder riding
+        each superblock flip): the payload lands immediately, advances
+        no clock, consumes no device bandwidth, records no span and
+        counts in no IO statistics — so instrumented runs stay
+        timing-identical and crash-schedule IO indices are unchanged.
+        Durability semantics are the caller's problem: the extent is
+        only *meaningful* once something durable references it.
+        """
+        nbytes = payload_length(payload)
+        if offset < 0 or offset + nbytes > self.capacity:
+            raise DeviceFull(
+                f"place [{offset}, {offset + nbytes}) beyond {self.name} "
+                f"capacity {self.capacity}"
+            )
+        self._extents[offset] = payload
+
     def cancel_inflight_at(self, offset: int) -> int:
         """Drop queued writes targeting ``offset`` before they land.
 
@@ -326,6 +345,16 @@ class StripedArray:
         """Drop an extent (GC reclaimed its blocks)."""
         device, local = self._device_for(offset)
         device.discard_extent(local)
+
+    def place_extent(self, offset: int, payload: Payload) -> None:
+        """Zero-cost media placement (flight-recorder sidecar path).
+
+        Bypasses the fault plan as well as the cost model: no IO index
+        is consumed, so crash schedules enumerate exactly the same
+        points with or without a flight recorder riding the commit.
+        """
+        device, local = self._device_for(offset)
+        device.place_extent(local, payload)
 
     def cancel_extent(self, offset: int) -> int:
         """Cancel queued writes to ``offset`` (checkpoint abort)."""

@@ -19,9 +19,10 @@ REC_OBJECT = "object"
 REC_OBJECT_BATCH = "object-batch"
 REC_JOURNAL = "journal"
 REC_SWAP = "swap"
+REC_FLIGHTREC = "flightrec"
 
 _KINDS = (REC_SUPERBLOCK, REC_CATALOG, REC_CKPT_META, REC_OBJECT,
-          REC_OBJECT_BATCH, REC_JOURNAL, REC_SWAP)
+          REC_OBJECT_BATCH, REC_JOURNAL, REC_SWAP, REC_FLIGHTREC)
 
 
 def encode(kind: str, body: Any) -> bytes:

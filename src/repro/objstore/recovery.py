@@ -72,6 +72,10 @@ def _rebuild(store: Any, superblock: dict) -> RecoveredState:
     store.oids = OIDAllocator(next_serial=superblock["oid_cursor"])
     store._ckpt_counter = superblock["ckpt_counter"]
     store._catalog_extent = tuple(superblock["catalog_extent"])
+    # Flight-recorder anchor: tolerate its absence (pre-recorder
+    # images mount unchanged).
+    anchor = superblock.get("flightrec")
+    store._flightrec_extent = tuple(anchor) if anchor else None
 
     catalog = records.decode(store.device.read(store._catalog_extent[0]),
                              records.REC_CATALOG)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..core import costs, events, telemetry, tracing
+from ..core import costs, events, flightrec, telemetry, tracing
 from ..core.faults import InjectedCrash
 from ..core.resilience import RetryPolicy
 from ..errors import (CorruptRecord, InvalidArgument, MachineCrashed,
@@ -100,6 +100,9 @@ class ObjectStore:
         self._ckpt_counter = 1
         self._generation = 0
         self._catalog_extent: Optional[Tuple[int, int]] = None
+        #: The flight-recorder snapshot anchored by the current
+        #: superblock (offset, length), when one has been written.
+        self._flightrec_extent: Optional[Tuple[int, int]] = None
         self._mounted = False
         #: Pending async commits: ckpt_id -> callbacks.
         self._commit_watchers: Dict[int, List[Callable[[CheckpointInfo], None]]] = {}
@@ -129,6 +132,7 @@ class ObjectStore:
         self._ckpt_counter = 1
         self._generation = 0
         self._catalog_extent = None
+        self._flightrec_extent = None
         self._write_catalog_and_superblock()
         self._mounted = True
 
@@ -305,7 +309,9 @@ class ObjectStore:
         for offset, _length in info.owned_extents:
             self.extent_refs[offset] = self.extent_refs.get(offset, 0) + 1
         try:
-            self._write_catalog_and_superblock()
+            self._write_catalog_and_superblock(pending={
+                "group": info.group_id, "ckpt": info.ckpt_id,
+                "name": info.name or "", "bytes": info.data_bytes})
         except (InjectedCrash, MachineCrashed):
             raise
         except ReproError:
@@ -463,7 +469,8 @@ class ObjectStore:
 
     # -- catalog / superblock ------------------------------------------------------------
 
-    def _write_catalog_and_superblock(self) -> None:
+    def _write_catalog_and_superblock(
+            self, pending: Optional[Dict[str, Any]] = None) -> None:
         catalog_body = {
             "checkpoints": {
                 str(ckpt_id): {
@@ -488,9 +495,23 @@ class ObjectStore:
         self._catalog_extent = (extent, len(payload))
 
         self._generation += 1
+        # The flight recorder rides every flip: a fixed-size snapshot
+        # of the telemetry surfaces, placed at zero simulated cost and
+        # anchored by the superblock about to be written — durable
+        # exactly when the commit is.  Fixed size keeps the allocator
+        # cursor, free list and superblock length identical whether
+        # telemetry is enabled or not (timing-identity invariant).
+        old_flightrec = self._flightrec_extent
+        rec_payload = flightrec.encode_snapshot(
+            self, pending=pending, generation=self._generation)
+        rec_offset = self.alloc.alloc(len(rec_payload))
+        self.device.place_extent(rec_offset, rec_payload)
+        self._flightrec_extent = (rec_offset, len(rec_payload))
+
         superblock = records.encode(records.REC_SUPERBLOCK, {
             "generation": self._generation,
             "catalog_extent": list(self._catalog_extent),
+            "flightrec": list(self._flightrec_extent),
             "alloc_cursor": self.alloc.cursor,
             "free_list": [[off, length] for off, length in self.alloc._free],
             "oid_cursor": self.oids.cursor,
@@ -511,10 +532,17 @@ class ObjectStore:
             self.device.discard_extent(extent)
             self.alloc.free(extent, len(payload))
             self._catalog_extent = old_catalog
+            self.device.discard_extent(rec_offset)
+            self.alloc.free(rec_offset, len(rec_payload))
+            self._flightrec_extent = old_flightrec
             self._generation -= 1
             raise
         if old_catalog is not None:
             self.alloc.free(*old_catalog)
+        if old_flightrec is not None:
+            # Freed but not discarded: the previous superblock slot
+            # still anchors it until the next flip overwrites the slot.
+            self.alloc.free(*old_flightrec)
 
     # -- reading back -----------------------------------------------------------------------
 

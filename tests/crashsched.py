@@ -243,7 +243,13 @@ class CrashScheduleExplorer:
 
     def run_point(self, point: CrashPoint, schedule: Schedule) -> Outcome:
         """Crash at ``point``, reboot, restore, check the oracle."""
+        from repro.core import events
+
         workload = self.workload
+        # Scope the (process-global) event ring to this run so the
+        # snapshots it persists — and the recovered black box's
+        # volatile tail — hold exactly this run's history.
+        events.log().reset()
         run = workload.boot()
         plan = FaultPlan(name=str(point))
         point.arm(plan)
@@ -264,9 +270,39 @@ class CrashScheduleExplorer:
         run.machine.crash()
         run.machine.boot()
         sls = load_aurora(run.machine)
+        self._verify_blackbox(sls, point, expected)
         result = sls.restore(run.gid, periodic=False)
         restored = workload.read_state(result.root, run.addr)
         return Outcome(point, fired, submitted, restored, expected)
+
+    def _verify_blackbox(self, sls, point: CrashPoint,
+                         expected: bytes) -> None:
+        """The recovered flight recorder must agree with the oracle:
+        the persisted timeline ends at the checkpoint the durability
+        oracle says survived, and the injected fault shows up in the
+        merged (volatile-tail) timeline."""
+        from repro.core import events, flightrec
+
+        box = flightrec.blackbox(sls.store, volatile=events.log())
+        assert box is not None, \
+            f"{point}: no flight recorder snapshot recovered"
+        last = box.last_durable
+        assert last is not None, \
+            f"{point}: recovered timeline has no durable commit"
+        expected_name = ("v2" if expected == self.workload.V2 else "v1")
+        assert last["fields"].get("name") == expected_name, \
+            (f"{point}: black box ends at "
+             f"{last['fields'].get('name')!r}, oracle says "
+             f"{expected_name!r} is the last durable commit")
+        # Nothing persisted may postdate the durable commit the
+        # timeline ends at.
+        assert box.events[-1] is last, \
+            f"{point}: persisted events continue past the durable commit"
+        faults = [row for row in box.timeline()
+                  if row["kind"] == events.FAULT_INJECTED]
+        assert faults, f"{point}: injected fault missing from black box"
+        assert all(row.get("post_snapshot") for row in faults), \
+            f"{point}: a crash fault event was persisted as durable"
 
     def sweep(self, points: List[CrashPoint],
               schedule: Schedule) -> List[Outcome]:

@@ -81,6 +81,68 @@ def test_event_ring_is_bounded_and_counts_evictions():
         "sls.telemetry.events_dropped") == 6
 
 
+def test_event_ring_emit_at_capacity_boundary_drops_nothing():
+    """Filling the ring to exactly its capacity evicts nothing: the
+    dropped counter only moves on the (capacity+1)-th emit."""
+    log = events.EventLog(capacity=4)
+    for i in range(4):
+        log.emit(i, "test.tick", n=i)
+    assert len(log) == 4
+    assert telemetry.registry().value(
+        "sls.telemetry.events_dropped") == 0
+    log.emit(4, "test.tick", n=4)
+    assert len(log) == 4
+    assert telemetry.registry().value(
+        "sls.telemetry.events_dropped") == 1
+    assert [e.fields["n"] for e in log] == [1, 2, 3, 4]
+
+
+def test_event_ring_iteration_order_survives_wraparound():
+    """After any number of wraps, iteration is oldest → newest and
+    timestamps stay monotone."""
+    log = events.EventLog(capacity=8)
+    for i in range(27):
+        log.emit(i * 10, "test.tick", n=i)
+    seen = list(log)
+    assert [e.fields["n"] for e in seen] == list(range(19, 27))
+    times = [e.time_ns for e in seen]
+    assert times == sorted(times)
+    # matching() walks the same wrapped order.
+    assert [e.fields["n"] for e in log.matching("test.tick")] == \
+        [e.fields["n"] for e in seen]
+
+
+def test_event_ring_reset_clears_entries_but_not_drop_accounting():
+    """reset() empties the ring and restarts retention; the eviction
+    counter is history and survives until the registry resets."""
+    log = events.EventLog(capacity=4)
+    for i in range(6):
+        log.emit(i, "test.tick", n=i)
+    assert telemetry.registry().value(
+        "sls.telemetry.events_dropped") == 2
+    log.reset()
+    assert len(log) == 0
+    assert list(log) == []
+    log.emit(100, "test.tick", n=100)
+    assert [e.fields["n"] for e in log] == [100]
+    # No phantom eviction from the pre-reset fill.
+    assert telemetry.registry().value(
+        "sls.telemetry.events_dropped") == 2
+
+
+def test_dropped_counter_accounts_every_eviction_exactly_once():
+    log = events.EventLog(capacity=4)
+    total = 0
+    for round_size in (3, 4, 9):
+        for i in range(round_size):
+            log.emit(total + i, "test.tick")
+        total += round_size
+    expected_drops = total - 4
+    assert telemetry.registry().value(
+        "sls.telemetry.events_dropped") == expected_drops
+    assert len(log) == 4
+
+
 def test_gc_reclaim_is_traced_and_logged():
     machine, sls, group, results = _run_checkpoints(3)
     victim = results[0].info.ckpt_id
@@ -135,6 +197,50 @@ def test_slo_tracker_on_synthetic_commit_schedule():
     assert row["e2e"]["max"] == 60
     assert row["rpo_violations"] == 1   # 260 > 100
     assert row["stop_violations"] == 1  # 15 > 10
+
+
+def test_burn_rate_alert_is_edge_triggered_and_logged():
+    """Sustained budget over-consumption raises one ``slo.alert``
+    event (per rising edge) once the minimum sample window fills;
+    recovery re-arms the edge."""
+    tracker = slo.SLOTracker(slo.SLOTargets(rpo_ns=2000))
+    tracker.tenant_names[1] = "svc"
+    t = 0
+    # Commits landing 5000ns apart against a 2000ns RPO budget burn
+    # at ~2.6x: the alert fires exactly when the fourth sample
+    # (BURN_MIN_SAMPLES) lands, then stays silent while it persists.
+    for i in range(6):
+        t += 5000
+        tracker.on_commit(1, i + 1, capture_ns=t - 300, commit_ns=t)
+    alerts = events.log().matching(events.SLO_ALERT, group=1)
+    assert len(alerts) == 1
+    assert alerts[0].fields["tenant"] == "svc"
+    assert alerts[0].fields["budget"] == "rpo"
+    assert alerts[0].fields["burn_milli"] >= slo.BURN_ALERT_MILLI
+    assert tracker.alerts(1, "rpo") == 1
+    row, = tracker.report(1)
+    assert row["rpo_burn_milli"] >= slo.BURN_ALERT_MILLI
+    assert row["alerts"] == 1
+    # Burn back down under the threshold (commits every 1000ns burn
+    # at ~0.5x), then spike again: a second rising edge, a second
+    # alert.
+    for i in range(slo.BURN_WINDOW):
+        t += 1000
+        tracker.on_commit(1, 100 + i, capture_ns=t - 10, commit_ns=t)
+    assert tracker.burn_rate_milli(1, "rpo") < slo.BURN_ALERT_MILLI
+    assert len(events.log().matching(events.SLO_ALERT, group=1)) == 1
+    for i in range(slo.BURN_WINDOW):
+        t += 5000
+        tracker.on_commit(1, 200 + i, capture_ns=t - 300, commit_ns=t)
+    assert len(events.log().matching(events.SLO_ALERT, group=1)) == 2
+    assert tracker.alerts(1, "rpo") == 2
+
+
+def test_healthy_commit_schedules_never_alert():
+    machine, sls, group, results = _run_checkpoints(10)
+    assert events.log().matching(events.SLO_ALERT) == []
+    row, = sls.slo.report(group.group_id)
+    assert row["alerts"] == 0
 
 
 def test_rpo_lag_cross_checked_against_known_commit_schedule():
