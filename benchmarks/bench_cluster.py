@@ -21,7 +21,13 @@ Outage patterns, injected halfway through the run:
   Aurora scenario: an AZ outage plus quorum math must cost nothing);
 * ``az+1``  — an AZ *plus* one node of another AZ: below the write
   quorum, so durability stalls until repair re-establishes copies —
-  still without losing anything acknowledged.
+  still without losing anything acknowledged;
+* ``partition`` — the primary is cut from every node but keeps
+  committing on its side; its lease expires, a standby is promoted
+  under a bumped epoch, and after the heal anti-entropy
+  reconciliation fences the doomed tail.  Measures the epoch-bump
+  and reconcile costs on top of the usual loss criterion: nothing
+  acknowledged before the cut is lost, nothing fenced survives.
 
 Emits ``BENCH_cluster.json`` at the repo root::
 
@@ -42,10 +48,11 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro import Machine, load_aurora
 from repro.core import telemetry
 from repro.core.cluster import SLSCluster
+from repro.core.faults import PRIMARY, FaultPlan
 from repro.units import PAGE_SIZE
 
 NODE_SWEEP = [3, 6, 9]
-OUTAGES = ["none", "node", "az", "az+1"]
+OUTAGES = ["none", "node", "az", "az+1", "partition"]
 AZS = 3
 CHECKPOINTS = 10
 SEGMENT_BYTES = 1024
@@ -140,13 +147,89 @@ def run_config(nodes: int, outage: str, checkpoints: int) -> dict:
     }
 
 
+def run_partition_config(nodes: int, checkpoints: int) -> dict:
+    """The partition scenario: cut, doomed tail, lease expiry,
+    epoch-bumped promotion, heal, fence, reconcile, recover."""
+    telemetry.reset()
+    machine = Machine()
+    sls = load_aurora(machine)
+    proc = machine.kernel.spawn("bench")
+    addr = proc.vmspace.mmap(16 * PAGE_SIZE, name="heap")
+    group = sls.attach(proc, name="bench", periodic=False)
+    cluster = SLSCluster(sls, group, nodes=nodes, azs=AZS,
+                         segment_bytes=SEGMENT_BYTES)
+    plan = FaultPlan(name="bench-partition")
+    machine.set_fault_plan(plan)
+
+    step_of = {}
+    cut_at = checkpoints // 2
+    wall_t0 = time.perf_counter()
+    for step in range(checkpoints):
+        if step == cut_at:
+            plan.partition([PRIMARY], list(range(nodes)))
+        proc.vmspace.write(addr, _payload(step))
+        for page in range(1, DIRTY_PAGES):
+            proc.vmspace.write(addr + page * PAGE_SIZE,
+                               _payload(step) + b":%d" % page)
+        result = sls.checkpoint(group, sync=True)
+        step_of[result.info.ckpt_id] = step
+        cluster.pump()
+    acked_step = step_of[cluster.durable]
+    doomed = (checkpoints - 1) - acked_step
+
+    machine.clock.advance(2 * cluster.lease_ns)
+    cluster.pump()            # zero grants past expiry: lease lost
+    cluster.failover()        # quorum epoch bump on the majority side
+    plan.heal()
+    cluster.pump()            # displaced primary fences itself
+    recon = cluster.reconcile()
+
+    machine.crash()
+    recovery = cluster.recover()
+    restored = recovery.result.root.vmspace.read(addr, len(_payload(0)))
+    restored_step = int(restored.rsplit(b"-", 1)[1])
+    registry = telemetry.registry()
+    failover_ns = registry.histogram(
+        "sls.cluster.failover_ns", group=group.group_id).max
+    epoch_bump_ns = registry.histogram(
+        "sls.cluster.epoch_bump_ns", group=group.group_id).max
+    wall_s = time.perf_counter() - wall_t0
+
+    return {
+        "nodes": nodes,
+        "azs": AZS,
+        "write_quorum": cluster.write_quorum,
+        "read_quorum": cluster.read_quorum,
+        "outage": "partition",
+        "nodes_downed": [],
+        "checkpoints": checkpoints,
+        "stalled_checkpoints_during_outage": doomed,
+        "doomed_checkpoints": doomed,
+        "fenced": recon["fenced"],
+        "epoch_bumps": cluster.stats["epoch_bumps"],
+        "epoch_bump_ns": epoch_bump_ns,
+        "reconcile_ns": recon["reconcile_ns"],
+        "reconcile_bytes": recon["reconcile_bytes"],
+        "acked_step": acked_step,
+        "restored_step": restored_step,
+        "data_loss_checkpoints": acked_step - restored_step,
+        "failover_ns": failover_ns,
+        "inter_az_bytes": cluster.inter_az_bytes,
+        "inter_az_bytes_per_ckpt": cluster.inter_az_bytes // checkpoints,
+        "repair": recon,
+        "wall_s": wall_s,
+    }
+
+
 def run_sweep(node_sweep, outages, checkpoints: int) -> dict:
     rows = []
     for nodes in node_sweep:
         for outage in outages:
             print(f"[cluster] {nodes} nodes / {AZS} AZs, "
                   f"outage={outage} ...", flush=True)
-            row = run_config(nodes, outage, checkpoints)
+            row = (run_partition_config(nodes, checkpoints)
+                   if outage == "partition"
+                   else run_config(nodes, outage, checkpoints))
             print(f"[cluster]   durable@step {row['acked_step']}, "
                   f"restored@step {row['restored_step']}, "
                   f"loss={row['data_loss_checkpoints']}, "
@@ -188,9 +271,20 @@ def main() -> int:
             failures.append(f"{row['nodes']}n/{row['outage']}: lost "
                             f"{row['data_loss_checkpoints']} acked "
                             f"checkpoint(s)")
-        if row["outage"] != "none" and row["repair"]["segments"] == 0:
+        if row["outage"] not in ("none", "partition") \
+                and row["repair"]["segments"] == 0:
             failures.append(f"{row['nodes']}n/{row['outage']}: "
                             f"repair rebuilt nothing")
+        if row["outage"] == "partition":
+            if row["fenced"] < row["doomed_checkpoints"]:
+                failures.append(
+                    f"{row['nodes']}n/partition: only {row['fenced']} "
+                    f"fenced write(s) drained for "
+                    f"{row['doomed_checkpoints']} doomed checkpoint(s)")
+            if row["epoch_bumps"] != 1:
+                failures.append(
+                    f"{row['nodes']}n/partition: expected exactly one "
+                    f"epoch bump, saw {row['epoch_bumps']}")
     for failure in failures:
         print(f"[cluster] FAIL {failure}")
     return 1 if failures else 0

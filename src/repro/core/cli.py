@@ -369,10 +369,12 @@ def cmd_cluster(args) -> int:
     print(f"durable watermark: checkpoint {status['durable']}; "
           f"quorum lag p50 {fmt_time(status['quorum_lag_p50_ns'])}; "
           f"inter-AZ traffic {status['inter_az_pretty']}")
+    stall = cluster.stall_reason()
 
     if args.failover:
         machine.crash()
-        cluster.failover()
+        cluster.failover(force=args.force,
+                         force_data_loss=args.force_data_loss)
         failover_ns = telemetry.registry().histogram(
             "sls.cluster.failover_ns",
             group=group.group_id).max
@@ -380,7 +382,58 @@ def cmd_cluster(args) -> int:
               f"{cluster.durable} in {fmt_time(failover_ns)}")
         return 0
     _save_image(machine, args.image)
+    if stall is not None:
+        print(f"quorum stalled: {stall}")
+        return 1
     return 0
+
+
+def cmd_nemesis(args) -> int:
+    """``sls nemesis``: seeded partition campaigns against the quorum
+    cluster.
+
+    Runs the nemesis harness's scripted campaigns — majority cut away,
+    isolated primary displaced and fenced, ack path severed,
+    partition during failover, asymmetric flap with repair — each at
+    the given seed, and checks the two hard invariants after every
+    one: no quorum-acknowledged checkpoint is ever lost, and no
+    fenced (minority-side) checkpoint is ever readable again.  Needs
+    no image: every campaign boots its own cluster.  Exit status 1
+    when any invariant is violated.
+    """
+    import json
+
+    from . import nemesis as nemesis_mod
+
+    if args.list:
+        for name in sorted(nemesis_mod.CAMPAIGNS):
+            print(name)
+        return 0
+    names = args.campaign or sorted(nemesis_mod.CAMPAIGNS)
+    for name in names:
+        if name not in nemesis_mod.CAMPAIGNS:
+            print(f"unknown campaign {name!r} (have: "
+                  f"{', '.join(sorted(nemesis_mod.CAMPAIGNS))})")
+            return 2
+    results = nemesis_mod.run_all(args.seed, names=names)
+    for result in results:
+        status = "ok" if result.passed else "INVARIANT VIOLATED"
+        details = " ".join(f"{key}={value}" for key, value
+                           in sorted(result.details.items()))
+        print(f"{result.name:<28} seed={result.seed} {status}"
+              f"{'  ' + details if details else ''}")
+        for violation in result.violations:
+            print(f"  ! {violation}")
+    failed = [result for result in results if not result.passed]
+    print(f"{len(results) - len(failed)}/{len(results)} campaign(s) "
+          f"passed at seed {args.seed}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"seed": args.seed,
+                       "campaigns": [r.as_dict() for r in results]},
+                      handle, indent=2)
+        print(f"wrote campaign results to {args.json}")
+    return 1 if failed else 0
 
 
 def cmd_slo(args) -> int:
@@ -410,23 +463,35 @@ def cmd_slo(args) -> int:
               f"targets rpo<{fmt_time(row['rpo_target_ns'])} "
               f"stop<{fmt_time(row['stop_target_ns'])}")
         for series in ("rpo_lag", "stop", "e2e", "quorum_lag",
-                       "failover", "repair_mttr"):
+                       "failover", "repair_mttr", "epoch_bump",
+                       "stale_primary"):
             s = row[series]
             if s["count"] == 0 and series in ("quorum_lag", "failover",
-                                              "repair_mttr"):
+                                              "repair_mttr",
+                                              "epoch_bump",
+                                              "stale_primary"):
                 continue  # no cluster attached to this run
             print(f"  {series:<11} n={s['count']:<4} "
                   f"p50 {fmt_time(s['p50']):>12} "
                   f"p95 {fmt_time(s['p95']):>12} "
                   f"p99 {fmt_time(s['p99']):>12} "
                   f"max {fmt_time(s['max']):>12}")
+        recon = row["reconcile_bytes"]
+        if recon["count"]:
+            print(f"  reconcile   n={recon['count']:<4} "
+                  f"p50 {fmt_size(int(recon['p50'])):>12} "
+                  f"max {fmt_size(recon['max']):>12} "
+                  f"budget {fmt_size(row['reconcile_target_bytes']):>12}")
         print(f"  degraded n={row['degraded_spells']:<4} "
               f"total {fmt_time(row['degraded_total_ns']):>12} "
               f"budget {fmt_time(row['degraded_target_ns']):>12}"
               f"{' (open spell)' if row['degraded_open'] else ''}")
         print(f"  violations: {row['rpo_violations']} rpo, "
               f"{row['stop_violations']} stop, "
-              f"{row['degraded_violations']} degraded")
+              f"{row['degraded_violations']} degraded, "
+              f"{row['epoch_bump_violations']} epoch-bump, "
+              f"{row['reconcile_violations']} reconcile, "
+              f"{row['stale_primary_violations']} stale-primary")
     print("critical path (mean self time per checkpoint stage):")
     for row in slo_mod.critical_path_summary(group.group_id):
         if row["self_ns"] == 0:
@@ -669,15 +734,20 @@ def cmd_top(args) -> int:
     fleet_rows = {row["group"]: row for row in sls.fleet.report()}
     print(f"{'GROUP':>5}  {'TENANT':<10} {'CKPTS':>5} "
           f"{'RPO BURN':>8} {'QUORUM BURN':>11} {'P99 QLAG':>10} "
+          f"{'RECONCILE':>9} {'STALE':>9} "
           f"{'DEGRADED':<8} {'MISS':>4} {'ALERTS':>6}")
     for row in sls.slo.report():
         fleet = fleet_rows.get(row["group"], {})
         qlag = row["quorum_lag"]
+        recon = row["reconcile_bytes"]
+        stale = row["stale_primary"]
         print(f"{row['group']:>5}  {row['tenant'] or '-':<10} "
               f"{row['commits']:>5} "
               f"{row['rpo_burn_milli']:>7}m "
               f"{row['quorum_burn_milli']:>10}m "
               f"{fmt_time(qlag['p99']):>10} "
+              f"{fmt_size(recon['max']) if recon['count'] else '-':>9} "
+              f"{fmt_time(stale['max']) if stale['count'] else '-':>9} "
               f"{fleet.get('degraded') or '-':<8} "
               f"{fleet.get('deadline_misses', 0):>4} "
               f"{row['alerts']:>6}")
@@ -965,7 +1035,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--failover", action="store_true",
                    help="crash the primary at the end and promote a "
                         "standby (image is left untouched)")
+    p.add_argument("--force", action="store_true",
+                   help="failover even while the primary's lease is "
+                        "still valid")
+    p.add_argument("--force-data-loss", action="store_true",
+                   help="with --force: allow promoting a node behind "
+                        "the quorum watermark, discarding acknowledged "
+                        "checkpoints")
     p.set_defaults(func=cmd_cluster)
+
+    p = sub.add_parser("nemesis",
+                       help="seeded partition campaigns with hard "
+                            "consistency invariants")
+    p.add_argument("--seed", type=int, default=7,
+                   help="campaign seed (default 7)")
+    p.add_argument("--campaign", action="append", metavar="NAME",
+                   help="run only this campaign (repeatable; "
+                        "default: all)")
+    p.add_argument("--list", action="store_true",
+                   help="list campaign names and exit")
+    p.add_argument("--json", metavar="PATH",
+                   help="write campaign results as JSON")
+    p.set_defaults(func=cmd_nemesis)
 
     p = sub.add_parser("slo", help="RPO / stop-time SLO compliance")
     p.add_argument("image")

@@ -54,6 +54,15 @@ TAIL_TRUNCATE = "cluster.truncate"
 PROMOTE = "cluster.promote"
 SEGMENT_REPAIRED = "cluster.segment_repaired"
 REPAIR_DONE = "cluster.repair_done"
+FENCED_WRITE = "cluster.fenced_write"
+EPOCH_BUMP = "cluster.epoch_bump"
+LEASE_RENEW = "cluster.lease_renew"
+LEASE_EXPIRE = "cluster.lease_expire"
+STALE_PRIMARY = "cluster.stale_primary"
+FORCED_PROMOTE = "cluster.forced_promote"
+RECONCILE_DONE = "cluster.reconcile_done"
+NET_PARTITION = "net.partition"
+NET_HEAL = "net.heal"
 FLEET_ADMIT = "fleet.admit"
 FLEET_EVICT = "fleet.evict"
 ADMISSION_REJECT = "fleet.admission_reject"

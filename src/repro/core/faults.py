@@ -40,6 +40,19 @@ fails but a retry may succeed, which is what the
 ``flaky_link`` does the same for the replication link: the next
 ``times`` ship attempts raise :class:`~repro.errors.LinkDown`.
 
+Network partitions are first-class: :meth:`FaultPlan.partition` (cut a
+node set off symmetrically), :meth:`FaultPlan.asym_partition` (one-way
+link drops) and :meth:`FaultPlan.partial_partition` (an exact directed
+pair list) install directed cuts consulted by :meth:`on_deliver` —
+the hook the cluster threads through every *delivery* direction (ship
+leg, ack leg, repair donor leg, lease ping), so delivery, not just
+shipping, fails per-direction.  :meth:`delay_link` adds per-direction
+message-delay skew instead of a cut.  Cuts can be armed to install
+when a given replication boundary is crossed (``at_repl=``), and
+:meth:`heal_after_drops` gives seeded plans a deterministic self-heal
+budget so :meth:`FaultPlan.random` can emit partition schedules that
+are guaranteed to heal.
+
 Everything a plan does is a pure function of its registrations, so a
 seeded plan (:meth:`FaultPlan.random`) reproduces exactly.
 """
@@ -47,7 +60,7 @@ seeded plan (:meth:`FaultPlan.random`) reproduces exactly.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import LinkDown, NoSpace, ReproError, TransientDeviceError
 from . import events as sls_events
@@ -61,6 +74,14 @@ TRANSIENT = "transient"
 INTERMITTENT = "intermittent"
 LINKFLAP = "linkflap"
 NODECRASH = "nodecrash"
+PARTITION = "partition"
+ASYM_PARTITION = "asym_partition"
+PARTIAL_PARTITION = "partial_partition"
+
+#: Endpoint id of the *primary* in directional cut pairs — cluster
+#: nodes are numbered from 0, so the primary gets a sentinel that can
+#: never collide with a node id.
+PRIMARY = -1
 
 #: Stage-boundary edges.
 BEFORE = "before"
@@ -89,7 +110,7 @@ class InjectedNodeCrash(InjectedFault):
     the quorum, not any single node, is the availability unit.
     """
 
-    def __init__(self, message: str = "", node: int = 0):
+    def __init__(self, message: str = "", node: int = 0) -> None:
         super().__init__(message)
         self.node = node
 
@@ -103,7 +124,7 @@ class FaultEvent:
     def __init__(self, kind: str, io_index: int,
                  stage: Optional[str] = None, edge: Optional[str] = None,
                  offset: Optional[int] = None, op: Optional[str] = None,
-                 node: Optional[int] = None):
+                 node: Optional[int] = None) -> None:
         self.kind = kind
         #: Number of device writes fully submitted when the fault fired.
         self.io_index = io_index
@@ -131,13 +152,13 @@ class FaultPlan:
     explorer discovers the schedule space before sweeping it.
     """
 
-    def __init__(self, name: str = "", seed: int = 0):
+    def __init__(self, name: str = "", seed: int = 0) -> None:
         self.name = name
         self.seed = seed
         #: Installed by :meth:`~repro.machine.Machine.set_fault_plan`
         #: so fired faults land in the structured event log at the
         #: sim-instant they fired.
-        self.clock = None
+        self.clock: Optional[Any] = None
         #: Next IO index == number of writes fully submitted so far.
         self.io_index = 0
         self.io_log: List[int] = []
@@ -171,6 +192,30 @@ class FaultPlan:
         #: enumerable instants.
         self.fleet_log: List[Tuple[int, str]] = []
         self._fleet_faults: Dict[int, str] = {}
+        #: Directed cuts currently installed: ``(src, dst)`` pairs a
+        #: delivery may not cross (``PRIMARY`` == -1 is the primary).
+        self._cuts: Set[Tuple[int, int]] = set()
+        #: Which registration kind cut each pair (for the audit trail).
+        self._cut_kind: Dict[Tuple[int, int], str] = {}
+        #: Per-direction message-delay skew in ns (no cut, just late).
+        self._link_delays: Dict[Tuple[int, int], int] = {}
+        #: The registered cut schedule, in registration order:
+        #: ``(kind, at_repl, pairs)`` — what ``describe`` reports and
+        #: the reproducibility contract for seeded partition plans.
+        self._partition_regs: List[Tuple[str, Optional[int],
+                                         Tuple[Tuple[int, int], ...]]] = []
+        #: Cuts armed to install when ``repl_log`` reaches an index.
+        self._pending_cuts: Dict[int, List[Tuple[str, Tuple[Tuple[int, int],
+                                                            ...]]]] = {}
+        #: Delivery audit trail: ``(src, dst, verdict)``.
+        self.deliveries: List[Tuple[int, int, str]] = []
+        #: Pairs that already fired a partition FaultEvent (fire-once
+        #: per install; healing re-arms them).
+        self._partition_fired: Set[Tuple[int, int]] = set()
+        #: Auto-heal: total dropped deliveries before every cut heals
+        #: (None = cuts persist until :meth:`heal`).
+        self._drop_budget: Optional[int] = None
+        self._drops = 0
 
     # -- registration ------------------------------------------------------
 
@@ -260,17 +305,129 @@ class FaultPlan:
         self._fleet_faults[index] = CRASH
         return self
 
+    # -- partitions --------------------------------------------------------
+
+    def _register_cuts(self, kind: str, pairs: Iterable[Tuple[int, int]],
+                       at_repl: Optional[int]) -> "FaultPlan":
+        ordered = tuple(sorted(set(pairs)))
+        if not ordered:
+            raise ValueError("a partition needs at least one directed pair")
+        self._partition_regs.append((kind, at_repl, ordered))
+        if at_repl is None:
+            self._install_cuts(kind, ordered)
+        else:
+            self._pending_cuts.setdefault(at_repl, []).append((kind, ordered))
+        return self
+
+    def _install_cuts(self, kind: str,
+                      pairs: Tuple[Tuple[int, int], ...]) -> None:
+        for pair in pairs:
+            self._cuts.add(pair)
+            self._cut_kind[pair] = kind
+            self._partition_fired.discard(pair)
+
+    def partition(self, side_a: Iterable[int], side_b: Iterable[int],
+                  at_repl: Optional[int] = None) -> "FaultPlan":
+        """Cut every link between the two node sets, both directions
+        (use :data:`PRIMARY` for the primary endpoint).  With
+        ``at_repl`` the cut installs only once replication boundary
+        ``at_repl`` is crossed — how a campaign partitions the primary
+        *mid-quorum*, deterministically."""
+        a, b = list(side_a), list(side_b)
+        pairs = [(x, y) for x in a for y in b if x != y]
+        pairs += [(y, x) for x in a for y in b if x != y]
+        return self._register_cuts(PARTITION, pairs, at_repl)
+
+    def asym_partition(self, srcs: Iterable[int], dsts: Iterable[int],
+                       at_repl: Optional[int] = None) -> "FaultPlan":
+        """One-way cut: deliveries from ``srcs`` to ``dsts`` drop, the
+        reverse direction stays up (asymmetric partition)."""
+        pairs = [(s, d) for s in srcs for d in dsts if s != d]
+        return self._register_cuts(ASYM_PARTITION, pairs, at_repl)
+
+    def partial_partition(self, pairs: Iterable[Tuple[int, int]],
+                          at_repl: Optional[int] = None) -> "FaultPlan":
+        """Cut an exact list of directed ``(src, dst)`` links."""
+        return self._register_cuts(PARTIAL_PARTITION, list(pairs), at_repl)
+
+    def delay_link(self, src: int, dst: int, delay_ns: int) -> "FaultPlan":
+        """Message-delay skew: every delivery ``src -> dst`` arrives
+        ``delay_ns`` late (charged to the sender's clock)."""
+        if delay_ns < 0:
+            raise ValueError("delay must be >= 0")
+        self._link_delays[(src, dst)] = delay_ns
+        return self
+
+    def heal_after_drops(self, count: int) -> "FaultPlan":
+        """Every installed cut heals after ``count`` total dropped
+        deliveries — the deterministic self-heal budget that lets
+        seeded random plans emit partition schedules guaranteed to
+        heal."""
+        if count < 1:
+            raise ValueError("heal budget needs count >= 1")
+        self._drop_budget = count
+        return self
+
+    def heal(self, pairs: Optional[Iterable[Tuple[int, int]]] = None) -> None:
+        """Remove cuts (all of them, or just ``pairs``); a later
+        re-partition of the same pair fires a fresh fault event."""
+        doomed = set(self._cuts) if pairs is None else set(pairs)
+        healed = sorted(self._cuts & doomed)
+        for pair in healed:
+            self._cuts.discard(pair)
+            self._partition_fired.discard(pair)
+        if healed and self.clock is not None:
+            sls_events.emit(self.clock.now(), sls_events.NET_HEAL,
+                            pairs=len(healed))
+
+    def is_cut(self, src: int, dst: int) -> bool:
+        """Whether a delivery ``src -> dst`` would currently drop."""
+        return (src, dst) in self._cuts
+
+    def cut_schedule(self) -> List[Tuple[str, Optional[int],
+                                         Tuple[Tuple[int, int], ...]]]:
+        """The registered cut schedule (kind, arm boundary, pairs) —
+        pure registration state, identical for identical seeds."""
+        return list(self._partition_regs)
+
     @classmethod
     def random(cls, seed: int, io_count: int,
-               boundaries: Optional[List[Tuple[str, str]]] = None
-               ) -> "FaultPlan":
+               boundaries: Optional[List[Tuple[str, str]]] = None,
+               nodes: Optional[int] = None) -> "FaultPlan":
         """A seeded one-fault plan over a known schedule space.
 
-        The same ``(seed, io_count, boundaries)`` always yields the
-        same plan — the fixed-seed smoke tests in CI rely on it.
+        The same ``(seed, io_count, boundaries, nodes)`` always yields
+        the same plan — the fixed-seed smoke tests in CI rely on it.
+        With ``nodes`` (a cluster size), half the seeds draw a
+        partition schedule instead: a seeded symmetric, asymmetric, or
+        partial cut over node ids plus :data:`PRIMARY`, with a seeded
+        self-heal drop budget so every drawn partition heals.
         """
         rng = random.Random(seed)
         plan = cls(name=f"random-{seed}", seed=seed)
+        if nodes is not None and nodes >= 2 and rng.random() < 0.5:
+            ids = [PRIMARY] + list(range(nodes))
+            kind = (PARTITION, ASYM_PARTITION,
+                    PARTIAL_PARTITION)[rng.randrange(3)]
+            shuffled = rng.sample(ids, len(ids))
+            split = 1 + rng.randrange(len(ids) - 1)
+            side_a, side_b = shuffled[:split], shuffled[split:]
+            if kind == PARTITION:
+                plan.partition(side_a, side_b)
+            elif kind == ASYM_PARTITION:
+                plan.asym_partition(side_a, side_b)
+            else:
+                npairs = 1 + rng.randrange(len(ids))
+                pairs = set()
+                for _ in range(npairs):
+                    src, dst = rng.sample(ids, 2)
+                    pairs.add((src, dst))
+                plan.partial_partition(sorted(pairs))
+            if rng.random() < 0.5:
+                src, dst = rng.sample(ids, 2)
+                plan.delay_link(src, dst, (1 + rng.randrange(8)) * 1_000_000)
+            plan.heal_after_drops(1 + rng.randrange(8))
+            return plan
         kinds = [CRASH, TORN, BITFLIP, NOSPACE,
                  TRANSIENT, TRANSIENT, INTERMITTENT]
         if boundaries and rng.random() < 0.25:
@@ -311,6 +468,14 @@ class FaultPlan:
                          f"{limit})")
         if self._link_flaps:
             parts.append(f"link:flap(x{self._link_flaps})")
+        for cut_kind, at_repl, pairs in self._partition_regs:
+            arms = "" if at_repl is None else f"@repl{at_repl}"
+            links = ";".join(f"{s}>{d}" for s, d in pairs)
+            parts.append(f"{cut_kind}{arms}{{{links}}}")
+        for (src, dst), delay in sorted(self._link_delays.items()):
+            parts.append(f"delay{{{src}>{dst}}}:+{delay}ns")
+        if self._drop_budget is not None:
+            parts.append(f"heal_after({self._drop_budget})")
         parts += [f"repl{idx}:{kind}"
                   for idx, kind in sorted(self._repl_faults.items())]
         parts += [f"fleet{idx}:{kind}"
@@ -334,7 +499,8 @@ class FaultPlan:
                             op=op, node=node)
         return event
 
-    def on_io(self, offset: int, payload, sync: bool):
+    def on_io(self, offset: int, payload: Any,
+              sync: bool) -> Tuple[str, Any]:
         """Called by the device array before each write is queued.
 
         Returns ``(verb, payload)`` where verb is ``"ok"`` (queue the
@@ -408,15 +574,53 @@ class FaultPlan:
             raise LinkDown(
                 f"injected link flap ({self._link_flaps_left} more)")
 
+    def on_deliver(self, src: int, dst: int) -> int:
+        """Called before a message crosses the ``src -> dst`` link
+        (ship leg, ack leg, repair donor leg, lease ping).
+
+        Raises :class:`~repro.errors.LinkDown` when the direction is
+        cut — retryable, so the standard backoff/health machinery
+        absorbs it — and otherwise returns the extra delay (ns) the
+        caller must charge for message skew.
+        """
+        pair = (src, dst)
+        if pair in self._cuts:
+            self.deliveries.append((src, dst, "dropped"))
+            self._drops += 1
+            if pair not in self._partition_fired:
+                self._partition_fired.add(pair)
+                self._fire(self._cut_kind.get(pair, PARTITION), op="net",
+                           node=dst if dst >= 0 else src)
+            if (self._drop_budget is not None
+                    and self._drops >= self._drop_budget):
+                self.heal()
+            raise LinkDown(f"partitioned: delivery {src}->{dst} dropped")
+        self.deliveries.append((src, dst, "ok"))
+        return self._link_delays.get(pair, 0)
+
     def on_repl(self, node: int, boundary: str) -> None:
         """Called by the cluster pump at each replication/quorum
-        boundary of each node (ship, deliver, apply, ack, repair).
+        boundary of each node (ship, deliver, apply, ack, repair —
+        plus ``epoch``/``lease``/``reconcile`` control-plane
+        boundaries).
 
         Like :meth:`on_stage`, the boundary is recorded first, then a
         registered crash fires *at* it: work preceding the boundary is
         complete when the crash unwinds, work after it never happened.
+        Cuts armed with ``at_repl`` install here, after the boundary
+        records but before any registered crash — a partition and a
+        crash at the same instant still partitions first.
         """
         self.repl_log.append((node, boundary))
+        pending = self._pending_cuts.pop(len(self.repl_log) - 1, None)
+        if pending is not None:
+            for cut_kind, pairs in pending:
+                self._install_cuts(cut_kind, pairs)
+                if self.clock is not None:
+                    sls_events.emit(self.clock.now(),
+                                    sls_events.NET_PARTITION,
+                                    cut=cut_kind, pairs=len(pairs),
+                                    at_repl=len(self.repl_log) - 1)
         kind = self._repl_faults.get(len(self.repl_log) - 1)
         if kind == CRASH:
             self._fire(CRASH, op="repl", node=node, stage=boundary)
@@ -468,7 +672,7 @@ class FaultPlan:
                 f"{self.io_index} IOs seen, {len(self.events)} fired)")
 
 
-def _flip_payload(payload, seed: int):
+def _flip_payload(payload: Any, seed: int) -> Any:
     """One corrupted byte (real payloads) or a perturbed seed
     (synthetic payloads — their content is a function of the seed)."""
     if isinstance(payload, bytes):
@@ -481,7 +685,7 @@ def _flip_payload(payload, seed: int):
     return (tag, syn_seed ^ 0x1, length)
 
 
-def _tear_payload(payload):
+def _tear_payload(payload: Any) -> Any:
     """The prefix of the write that reached media before power died."""
     if isinstance(payload, bytes):
         return payload[:max(1, len(payload) // 2)]

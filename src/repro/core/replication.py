@@ -26,7 +26,7 @@ from typing import Optional
 
 from ..errors import MachineCrashed, RetriesExhausted, SLSError
 from ..units import MSEC
-from . import events, migration, telemetry, tracing
+from . import events, faults, migration, telemetry, tracing
 from .resilience import RetryPolicy
 
 #: An outage must last this long before failover is permitted.
@@ -48,6 +48,10 @@ class ReplicationLink:
         self.failover_deadline_ns = failover_deadline_ns
         #: Sim-instant the current outage began (None = link healthy).
         self.down_since: Optional[int] = None
+        #: This link's far endpoint id in directional partition cuts
+        #: (the quorum cluster overrides it with the node id; the
+        #: plain standby keeps 0).
+        self.peer_id = 0
         self.retry = RetryPolicy(src_sls.machine.clock,
                                  seed=0x11A6 ^ group.group_id,
                                  op="replication.ship")
@@ -62,6 +66,12 @@ class ReplicationLink:
         plan = getattr(self.src_sls.machine, "fault_plan", None)
         if plan is not None:
             plan.on_link()
+            # The ship direction can be partitioned independently of
+            # the reverse path: delivery, not just shipping, fails
+            # per-direction (and may be skewed late).
+            delay = plan.on_deliver(faults.PRIMARY, self.peer_id)
+            if delay:
+                self._clock().advance(delay)
         # Attribute the standby leg to the newest checkpoint trace of
         # this group, when one exists — same propagation rule as the
         # quorum cluster's legs (spans never advance the clock).

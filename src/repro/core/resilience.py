@@ -57,6 +57,8 @@ HEALTH_OK = "ok"
 HEALTH_DEGRADED = "degraded"
 REASON_ENOSPC = "enospc"
 REASON_DEVICE = "device"
+#: A fenced ex-primary draining after a newer membership epoch won.
+REASON_STALE_PRIMARY = "stale_primary"
 
 #: Consecutive exhausted checkpoints before the group degrades.
 DEVICE_FAILURE_THRESHOLD = 3

@@ -86,10 +86,11 @@ class ShardManifest:
     """
 
     __slots__ = ("group_id", "ckpt_id", "total_bytes", "segment_bytes",
-                 "segments", "trace_ctx")
+                 "segments", "trace_ctx", "epoch")
 
     def __init__(self, group_id: int, ckpt_id: int, total_bytes: int,
-                 segment_bytes: int, segments: List[SegmentMeta]):
+                 segment_bytes: int, segments: List[SegmentMeta],
+                 epoch: int = 0):
         self.group_id = group_id
         self.ckpt_id = ckpt_id
         self.total_bytes = total_bytes
@@ -100,6 +101,10 @@ class ShardManifest:
         #: belongs to, stamped by the primary and carried on the wire
         #: so replica-side spans land in the originating trace.
         self.trace_ctx = None
+        #: Cluster membership epoch the shipping primary held when it
+        #: put this delta on the wire; replicas fence any manifest
+        #: whose epoch trails their durably promised epoch.
+        self.epoch = epoch
 
     def __len__(self) -> int:
         return len(self.segments)
@@ -191,3 +196,94 @@ class ProtectionGroupLayout:
 
     def __repr__(self) -> str:
         return f"ProtectionGroupLayout({self.npgs} PGs)"
+
+
+# --- anti-entropy digest tree ----------------------------------------------
+#
+# The merkle-style structure the heal-time reconciliation exchange
+# compares: segment CRCs (already carried by every manifest) roll up
+# into one digest per protection group, PG digests roll up into one
+# root per checkpoint, checkpoint roots into one root per node.  Two
+# nodes agree on a subtree iff the digests match, so the exchange
+# descends only into mismatched subtrees and repair is fed exactly the
+# segments that actually differ — bytes on the wire scale with the
+# divergence, not the history.
+
+def pg_digest(layout: ProtectionGroupLayout, manifest: ShardManifest,
+              pg: int) -> int:
+    """One protection group's digest: CRC over its member segments'
+    ``(index, length, crc)`` triples in index order."""
+    acc = b"".join(b"%d:%d:%d;" % (meta.index, meta.length, meta.crc)
+                   for meta in layout.members(manifest, pg))
+    return _crc(acc)
+
+
+def manifest_digests(layout: ProtectionGroupLayout,
+                     manifest: ShardManifest) -> Dict[int, int]:
+    """Per-PG digests of one checkpoint's manifest."""
+    return {pg: pg_digest(layout, manifest, pg)
+            for pg in range(layout.npgs)}
+
+
+class DigestTree:
+    """One node's digest tree over its applied checkpoint manifests.
+
+    Built from ``{primary_ckpt_id: ShardManifest}``; :meth:`diff`
+    against a canonical tree returns, per divergent or missing
+    checkpoint, exactly the segment indexes whose bytes differ.
+    """
+
+    def __init__(self, layout: ProtectionGroupLayout,
+                 manifests: Dict[int, ShardManifest]):
+        self.layout = layout
+        #: ckpt -> segment index -> (length, crc) leaf digests.
+        self.leaves: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        #: ckpt -> pg -> digest.
+        self.pgs: Dict[int, Dict[int, int]] = {}
+        #: ckpt -> checkpoint root digest.
+        self.roots: Dict[int, int] = {}
+        for ckpt, manifest in manifests.items():
+            self.leaves[ckpt] = {meta.index: (meta.length, meta.crc)
+                                 for meta in manifest.segments}
+            digests = manifest_digests(layout, manifest)
+            self.pgs[ckpt] = digests
+            self.roots[ckpt] = _crc(b"".join(
+                b"%d:%d;" % (pg, digests[pg]) for pg in sorted(digests)))
+        #: Whole-node root digest over checkpoint roots in id order.
+        self.root = _crc(b"".join(
+            b"%d:%d;" % (ckpt, self.roots[ckpt])
+            for ckpt in sorted(self.roots)))
+
+    def diff(self, canonical: "DigestTree") -> Dict[int, List[int]]:
+        """Segments this node must fetch to match ``canonical``.
+
+        Returns ``{ckpt: [segment indexes]}`` covering checkpoints the
+        node is missing entirely (every canonical segment listed) and
+        checkpoints whose digests diverge (only the differing member
+        segments listed, found by descending root -> PG -> leaf).
+        Checkpoints this node holds beyond the canonical tree are the
+        fencing layer's business, not the diff's.
+        """
+        needed: Dict[int, List[int]] = {}
+        for ckpt, root in canonical.roots.items():
+            if ckpt not in self.roots:
+                needed[ckpt] = sorted(canonical.leaves[ckpt])
+                continue
+            if self.roots[ckpt] == root:
+                continue
+            divergent: List[int] = []
+            for pg, digest in canonical.pgs[ckpt].items():
+                if self.pgs[ckpt].get(pg) == digest:
+                    continue
+                for index, leaf in canonical.leaves[ckpt].items():
+                    if self.layout.pg_of(index) != pg:
+                        continue
+                    if self.leaves[ckpt].get(index) != leaf:
+                        divergent.append(index)
+            if divergent:
+                needed[ckpt] = sorted(divergent)
+        return needed
+
+    def __repr__(self) -> str:
+        return (f"DigestTree({len(self.roots)} ckpts, "
+                f"root={self.root:#010x})")

@@ -49,6 +49,15 @@ DEFAULT_DEGRADED_NS = 50 * MSEC
 DEFAULT_QUORUM_NS = 20 * MSEC
 DEFAULT_FAILOVER_NS = 1 * SEC
 DEFAULT_REPAIR_SEGMENT_NS = 10 * SEC
+#: Fencing / reconciliation budgets: winning a quorum epoch bump (a
+#: round of small control messages plus one superblock flip per
+#: voter), bytes a single heal-time reconciliation may move (the
+#: digest exchange should keep this near the real divergence, not the
+#: history size), and the time a fenced ex-primary may sit in the
+#: stale-primary degraded mode before reconciliation retires it.
+DEFAULT_EPOCH_BUMP_NS = 100 * MSEC
+DEFAULT_RECONCILE_BYTES = 4 * 1024 * 1024
+DEFAULT_STALE_PRIMARY_NS = 1 * SEC
 
 #: Exact samples kept per series (oldest dropped beyond this).
 SAMPLE_CAPACITY = 65536
@@ -76,20 +85,27 @@ class SLOTargets:
     """Configurable budgets."""
 
     __slots__ = ("rpo_ns", "stop_ns", "degraded_ns", "quorum_ns",
-                 "failover_ns", "repair_segment_ns")
+                 "failover_ns", "repair_segment_ns", "epoch_bump_ns",
+                 "reconcile_bytes", "stale_primary_ns")
 
     def __init__(self, rpo_ns: int = DEFAULT_RPO_NS,
                  stop_ns: int = DEFAULT_STOP_NS,
                  degraded_ns: int = DEFAULT_DEGRADED_NS,
                  quorum_ns: int = DEFAULT_QUORUM_NS,
                  failover_ns: int = DEFAULT_FAILOVER_NS,
-                 repair_segment_ns: int = DEFAULT_REPAIR_SEGMENT_NS):
+                 repair_segment_ns: int = DEFAULT_REPAIR_SEGMENT_NS,
+                 epoch_bump_ns: int = DEFAULT_EPOCH_BUMP_NS,
+                 reconcile_bytes: int = DEFAULT_RECONCILE_BYTES,
+                 stale_primary_ns: int = DEFAULT_STALE_PRIMARY_NS):
         self.rpo_ns = rpo_ns
         self.stop_ns = stop_ns
         self.degraded_ns = degraded_ns
         self.quorum_ns = quorum_ns
         self.failover_ns = failover_ns
         self.repair_segment_ns = repair_segment_ns
+        self.epoch_bump_ns = epoch_bump_ns
+        self.reconcile_bytes = reconcile_bytes
+        self.stale_primary_ns = stale_primary_ns
 
     def replace(self, **overrides: int) -> "SLOTargets":
         """A copy with the given budgets overridden."""
@@ -153,6 +169,11 @@ class _GroupSLO:
         self.quorum_lag = _Series()
         self.failover = _Series()
         self.repair_mttr = _Series()
+        #: Fencing series: quorum epoch-bump latency, bytes moved per
+        #: heal-time reconciliation, and stale-primary degraded spells.
+        self.epoch_bump = _Series()
+        self.reconcile_bytes = _Series()
+        self.stale_primary = _Series()
 
 
 class SLOTracker:
@@ -317,6 +338,30 @@ class SLOTracker:
         if failover_ns > self.targets_for(group_id).failover_ns:
             self._violate(group_id, "failover")
 
+    def on_epoch_bump(self, group_id: int, bump_ns: int) -> None:
+        """A quorum epoch bump (the fencing round of a failover or an
+        operator promote) completed in ``bump_ns``."""
+        state = self._group(group_id)
+        state.epoch_bump.add(bump_ns)
+        if bump_ns > self.targets_for(group_id).epoch_bump_ns:
+            self._violate(group_id, "epoch_bump")
+
+    def on_reconcile(self, group_id: int, nbytes: int) -> None:
+        """One heal-time anti-entropy reconciliation moved ``nbytes``
+        of differing segments across the wire."""
+        state = self._group(group_id)
+        state.reconcile_bytes.add(nbytes)
+        if nbytes > self.targets_for(group_id).reconcile_bytes:
+            self._violate(group_id, "reconcile")
+
+    def on_stale_primary(self, group_id: int, spell_ns: int) -> None:
+        """A fenced ex-primary's stale-primary degraded spell closed
+        (reconciliation retired it) after ``spell_ns``."""
+        state = self._group(group_id)
+        state.stale_primary.add(spell_ns)
+        if spell_ns > self.targets_for(group_id).stale_primary_ns:
+            self._violate(group_id, "stale_primary")
+
     def on_repair_segment(self, group_id: int, mttr_ns: int) -> None:
         """One lost segment copy was rebuilt ``mttr_ns`` after repair
         began — the window in which a further fault could have lined
@@ -421,6 +466,16 @@ class SLOTracker:
                 "quorum_violations": self.violations(gid, "quorum"),
                 "failover_violations": self.violations(gid, "failover"),
                 "repair_violations": self.violations(gid, "repair"),
+                "epoch_bump": state.epoch_bump.summary(),
+                "reconcile_bytes": state.reconcile_bytes.summary(),
+                "stale_primary": state.stale_primary.summary(),
+                "epoch_bump_target_ns": targets.epoch_bump_ns,
+                "reconcile_target_bytes": targets.reconcile_bytes,
+                "stale_primary_target_ns": targets.stale_primary_ns,
+                "epoch_bump_violations": self.violations(gid, "epoch_bump"),
+                "reconcile_violations": self.violations(gid, "reconcile"),
+                "stale_primary_violations":
+                    self.violations(gid, "stale_primary"),
             })
         return rows
 

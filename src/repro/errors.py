@@ -168,6 +168,24 @@ class SegmentCorrupt(ClusterError):
     """A replicated segment failed checksum or completeness checks."""
 
 
+class StaleEpoch(ClusterError):
+    """A ship/apply/ack carried a membership epoch older than the
+    receiving node's durably promised epoch: the write was fenced.
+    Not retryable — the sender's primaryship is over, and it must
+    drain into the stale-primary degraded mode, not retry."""
+
+    def __init__(self, message: str = "", epoch: int = 0) -> None:
+        super().__init__(message)
+        #: The newer epoch the rejecting node has promised.
+        self.epoch = epoch
+
+
+class LeaseValid(ClusterError):
+    """Failover was refused because the incumbent primary still holds
+    an unexpired sim-clock lease — promoting now could fork history
+    while the incumbent is merely partitioned, not dead."""
+
+
 # --- object store ----------------------------------------------------------
 
 

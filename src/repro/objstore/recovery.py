@@ -76,6 +76,10 @@ def _rebuild(store: Any, superblock: dict) -> RecoveredState:
     # images mount unchanged).
     anchor = superblock.get("flightrec")
     store._flightrec_extent = tuple(anchor) if anchor else None
+    # Promised cluster epoch: tolerate its absence (single-machine and
+    # pre-fencing images mount unchanged) — the promise survives the
+    # crash exactly because it rides the superblock.
+    store.cluster_epoch = superblock.get("cluster_epoch", 0)
 
     catalog = records.decode(store.device.read(store._catalog_extent[0]),
                              records.REC_CATALOG)

@@ -103,6 +103,10 @@ class ObjectStore:
         #: The flight-recorder snapshot anchored by the current
         #: superblock (offset, length), when one has been written.
         self._flightrec_extent: Optional[Tuple[int, int]] = None
+        #: Highest cluster membership epoch this store has promised
+        #: (0 = never participated in an epoch bump).  Durable via the
+        #: superblock so fencing survives crash + remount.
+        self.cluster_epoch = 0
         self._mounted = False
         #: Pending async commits: ckpt_id -> callbacks.
         self._commit_watchers: Dict[int, List[Callable[[CheckpointInfo], None]]] = {}
@@ -133,6 +137,7 @@ class ObjectStore:
         self._generation = 0
         self._catalog_extent = None
         self._flightrec_extent = None
+        self.cluster_epoch = 0
         self._write_catalog_and_superblock()
         self._mounted = True
 
@@ -508,7 +513,7 @@ class ObjectStore:
         self.device.place_extent(rec_offset, rec_payload)
         self._flightrec_extent = (rec_offset, len(rec_payload))
 
-        superblock = records.encode(records.REC_SUPERBLOCK, {
+        superblock_body: Dict[str, Any] = {
             "generation": self._generation,
             "catalog_extent": list(self._catalog_extent),
             "flightrec": list(self._flightrec_extent),
@@ -518,7 +523,13 @@ class ObjectStore:
             "ckpt_counter": self._ckpt_counter,
             "journal_dir": {str(jid): journal.encode_meta()
                             for jid, journal in self.journals.items()},
-        })
+        }
+        # Written only once the store has joined a cluster epoch, so
+        # single-machine stores keep a byte-identical superblock (the
+        # timing-identity invariant again).
+        if self.cluster_epoch:
+            superblock_body["cluster_epoch"] = self.cluster_epoch
+        superblock = records.encode(records.REC_SUPERBLOCK, superblock_body)
         slot = SUPERBLOCK_SLOTS[self._generation % 2]
         self.clock.advance(costs.STORE_COMMIT)
         try:
@@ -543,6 +554,24 @@ class ObjectStore:
             # Freed but not discarded: the previous superblock slot
             # still anchors it until the next flip overwrites the slot.
             self.alloc.free(*old_flightrec)
+
+    def promise_cluster_epoch(self, epoch: int) -> None:
+        """Durably promise a cluster membership epoch: once the
+        superblock flip lands, this store fences any manifest carrying
+        an older epoch — across crash and remount.  Promises are
+        monotonic; an older epoch is a no-op."""
+        if epoch <= self.cluster_epoch:
+            return
+        previous = self.cluster_epoch
+        self.cluster_epoch = epoch
+        try:
+            self._write_catalog_and_superblock()
+        except (InjectedCrash, MachineCrashed):
+            raise
+        except ReproError:
+            # The flip never landed: the promise was never made.
+            self.cluster_epoch = previous
+            raise
 
     # -- reading back -----------------------------------------------------------------------
 

@@ -32,8 +32,10 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro import Machine, load_aurora
-from repro.core.cluster import B_APPLY, SLSCluster
-from repro.core.faults import AFTER, BEFORE, FaultPlan, InjectedCrash
+from repro.core.cluster import (B_APPLY, B_EPOCH, B_LEASE, B_RECONCILE,
+                                SLSCluster)
+from repro.core.faults import (AFTER, BEFORE, PRIMARY, FaultPlan,
+                               InjectedCrash)
 from repro.objstore.store import SUPERBLOCK_SLOTS
 from repro.units import PAGE_SIZE
 
@@ -522,6 +524,117 @@ class ClusterScheduleExplorer:
         """Run the given boundaries; returns outcomes (callers assert)."""
         return [self.run_point(index, schedule, mode=mode)
                 for index in indices]
+
+
+# -- the fenced-failover crash-schedule explorer ------------------------------
+
+
+class FencedClusterWorkload(ClusterWorkload):
+    """The partition-failover protocol made crash-enumerable.
+
+    Boot: all six nodes replicate a durable ``V1`` (no plan installed
+    — pre-probe), then the heap is dirtied to ``V2``.
+
+    The probed action walks the whole displaced-primary story: the
+    primary is symmetrically partitioned from every node, the ``V2``
+    checkpoint commits locally and its pump stalls behind the cut
+    (``ship`` boundaries of the doomed attempts), the primary's lease
+    expires (``lease``), a reachable node is promoted — every voter
+    durably promising the bumped epoch (``epoch`` per voter) — the
+    partition heals, the displaced primary fences itself on first
+    contact, and anti-entropy reconciliation (``reconcile`` per node)
+    drains the fenced tail.
+
+    ``V2`` never reaches any replica's media — the cut, then the
+    fence, kill it before apply — so the oracle is constant: recovery
+    from replica media yields exactly ``V1`` at *every* crash point.
+    """
+
+    def boot(self) -> ClusterRun:  # type: ignore[override]
+        machine = Machine()
+        sls = load_aurora(machine)
+        proc = machine.kernel.spawn("app")
+        addr = proc.vmspace.mmap(self.NPAGES * PAGE_SIZE, name="heap")
+        self._fill(proc, addr, self.V1)
+        group = sls.attach(proc, periodic=False)
+        v1 = sls.checkpoint(group, name="v1", sync=True).info.ckpt_id
+        cluster = SLSCluster(sls, group, nodes=self.NODES,
+                             azs=self.AZS,
+                             segment_bytes=self.SEGMENT_BYTES)
+        durable = cluster.pump()
+        assert durable == v1, "V1 did not reach quorum before the probe"
+        self._fill(proc, addr, self.V2)
+        return ClusterRun(machine, sls, group, proc, addr, cluster, v1)
+
+    def action(self, run: ClusterRun) -> None:
+        """The probed sequence: partition, stall, lease expiry,
+        quorum epoch bump, heal, self-fence, reconcile."""
+        plan = run.machine.fault_plan
+        assert plan is not None, "the explorer installs the plan"
+        plan.partition([PRIMARY], list(range(self.NODES)))
+        run.sls.checkpoint(run.group, name="v2", sync=True)
+        run.cluster.pump()  # stalls: every ship dies at the cut
+        run.machine.clock.advance(2 * run.cluster.lease_ns)
+        run.cluster.pump()  # zero lease grants past expiry: B_LEASE
+        run.cluster.failover()  # quorum epoch bump: B_EPOCH per voter
+        plan.heal()
+        run.cluster.pump()  # first contact reads the newer promise
+        assert run.cluster.fenced, "displaced primary must self-fence"
+        run.cluster.reconcile()  # B_RECONCILE per node
+
+
+class FencedScheduleExplorer(ClusterScheduleExplorer):
+    """Crashes the primary at every boundary of a partitioned
+    failover — lease expiry, each voter's epoch promise, each node's
+    reconciliation — and checks the constant oracle: the fenced
+    ``V2`` is never recoverable, ``V1`` always is."""
+
+    def __init__(self, workload: Optional[FencedClusterWorkload] = None):
+        super().__init__(workload or FencedClusterWorkload())
+
+    def probe(self) -> ClusterSchedule:
+        """Discover the boundary schedule; assert it is deterministic
+        and crosses the lease/epoch/reconcile boundary kinds."""
+        first = self._observe()
+        second = self._observe()
+        assert first.repl_log == second.repl_log, \
+            "fenced-failover boundary schedule is not deterministic"
+        schedule = ClusterSchedule(first.repl_log,
+                                   self.workload.WRITE_QUORUM)
+        kinds = {boundary for _, boundary in schedule.repl_log}
+        assert {B_EPOCH, B_LEASE, B_RECONCILE} <= kinds, \
+            f"probe missed a fencing boundary kind: {kinds}"
+        assert schedule.flip_index is None, \
+            "a fenced V2 must never reach a write-quorum apply"
+        return schedule
+
+    def run_point(self, index: int, schedule: ClusterSchedule,
+                  mode: str = "primary") -> ClusterOutcome:
+        assert mode == "primary", \
+            "the fenced sweep crashes the primary only"
+        workload = self.workload
+        run = workload.boot()
+        plan = FaultPlan(name=f"fence{index}")
+        plan.crash_at_repl(index)
+        run.machine.set_fault_plan(plan)
+        try:
+            workload.action(run)
+        except InjectedCrash:
+            pass
+        assert plan.fired, f"boundary {index}: crash never fired"
+
+        # The primary dies at (or after) the boundary; the cluster
+        # settles on replica media, where V2 never landed.
+        run.machine.crash()
+        recovery = run.cluster.recover()
+        expected = workload.V1
+        restored = workload.read_state(recovery.result.root, run.addr)
+        restored_page = workload.read_page(recovery.result.root,
+                                           run.addr, 7)
+        return ClusterOutcome(index, schedule.repl_log[index], mode,
+                              recovery.durable, restored,
+                              restored_page, expected,
+                              expected + b":7")
 
 
 # -- the fleet crash-schedule explorer ---------------------------------------

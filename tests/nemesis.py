@@ -1,0 +1,14 @@
+"""Nemesis harness entry point (re-export).
+
+The engine lives in :mod:`repro.core.nemesis` so the ``sls nemesis``
+CLI can reach it without importing the test tree; this module is the
+test-side face of the same campaigns.
+"""
+
+from __future__ import annotations
+
+from repro.core.nemesis import (AZS, CAMPAIGNS, NODES, CampaignResult,
+                                NemesisFixture, run_all, run_campaign)
+
+__all__ = ["AZS", "CAMPAIGNS", "NODES", "CampaignResult",
+           "NemesisFixture", "run_all", "run_campaign"]

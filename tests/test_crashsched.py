@@ -435,6 +435,80 @@ def test_crashed_checkpoint_trace_is_marked_incomplete():
     assert "ckpt.flush" not in names
 
 
+# -- fenced-failover boundaries: epoch bump, lease expiry, reconcile ---------
+
+
+from repro.core.cluster import B_EPOCH, B_LEASE, B_RECONCILE  # noqa: E402
+from repro.core.faults import PRIMARY  # noqa: E402
+from tests.crashsched import FencedScheduleExplorer  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def fenced_explorer():
+    return FencedScheduleExplorer()
+
+
+@pytest.fixture(scope="module")
+def fenced_schedule(fenced_explorer):
+    """Probed (determinism-checked) fenced-failover schedule."""
+    return fenced_explorer.probe()
+
+
+def _fencing_indices(schedule):
+    return [index for index, (_, boundary)
+            in enumerate(schedule.repl_log)
+            if boundary in (B_EPOCH, B_LEASE, B_RECONCILE)]
+
+
+def test_fenced_probe_covers_the_failover_protocol(fenced_schedule):
+    """The schedule crosses the lease expiry once, an epoch promise
+    on every voter, a reconcile on every node — in protocol order —
+    and the fenced V2 never reaches a write-quorum apply."""
+    log = fenced_schedule.repl_log
+    nodes = list(range(ClusterWorkload.NODES))
+    assert [n for n, b in log if b == B_EPOCH] == nodes
+    assert [n for n, b in log if b == B_RECONCILE] == nodes
+    assert [n for n, b in log if b == B_LEASE] == [PRIMARY]
+    kinds = [b for _, b in log]
+    assert kinds.index(B_LEASE) < kinds.index(B_EPOCH) \
+        < kinds.index(B_RECONCILE)
+    assert fenced_schedule.flip_index is None
+
+
+def test_fenced_failover_crash_at_fencing_boundaries(fenced_explorer,
+                                                     fenced_schedule):
+    """Tier-1 slice: the lease boundary plus the first and last epoch
+    and reconcile boundaries.  A primary crash at any of them
+    recovers exactly V1 — the partitioned V2 is never readable, no
+    matter how far the epoch bump or the reconciliation got."""
+    fencing = _fencing_indices(fenced_schedule)
+    by_kind = {}
+    for index in fencing:
+        by_kind.setdefault(fenced_schedule.repl_log[index][1],
+                           []).append(index)
+    indices = sorted({ixs[0] for ixs in by_kind.values()}
+                     | {ixs[-1] for ixs in by_kind.values()})
+    outcomes = fenced_explorer.sweep(indices, fenced_schedule)
+    assert all(outcome.ok for outcome in outcomes), \
+        [outcome for outcome in outcomes if not outcome.ok]
+    assert all(outcome.restored == ClusterWorkload.V1
+               for outcome in outcomes)
+
+
+@pytest.mark.slow
+def test_fenced_failover_exhaustive_crash_sweep(fenced_explorer,
+                                                fenced_schedule):
+    """Every boundary of the partitioned failover, gap-free — the
+    stalled ships, the lease expiry, every epoch promise, every
+    reconcile — restores V1 and only V1."""
+    indices = list(range(fenced_schedule.count))
+    outcomes = fenced_explorer.sweep(indices, fenced_schedule)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    assert not failures, failures
+    assert {outcome.restored for outcome in outcomes} == \
+        {ClusterWorkload.V1}
+
+
 # -- fleet-scheduler boundaries ----------------------------------------------
 
 
